@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+func TestRunWritesDataset(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"out.txt", "out.bin"} {
+		path := filepath.Join(dir, name)
+		if err := run("ecg", 1000, 3, path); err != nil {
+			t.Fatal(err)
+		}
+		s, err := series.LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Len() != 1000 {
+			t.Errorf("%s: %d points", name, s.Len())
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run("ecg", 100, 1, ""); err == nil {
+		t.Error("missing -out should fail")
+	}
+	if err := run("bogus", 100, 1, "/tmp/x.txt"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run("ecg", 100, 1, "/nonexistent-dir/x.txt"); err == nil {
+		t.Error("unwritable path should fail")
+	}
+}

@@ -1,0 +1,139 @@
+// Command valmod-view is the text front-end of the suite (the stand-in for
+// the demo's Python GUI, Figures 4–5). It loads a VALMAP JSON produced by
+// `valmod -valmap` plus the series it was computed from, and renders the
+// three analysis surfaces the demo shows: the VALMAP state at a chosen
+// checkpoint length (the GUI's slider), the top-k variable-length motifs,
+// and the motif-set expansion of a selected pair.
+//
+// Usage:
+//
+//	valmod-view -valmap out.json -series data.txt [-at 120] [-expand 1] [-k 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"github.com/seriesmining/valmod/internal/asciiplot"
+	"github.com/seriesmining/valmod/internal/motifset"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/rank"
+	"github.com/seriesmining/valmod/internal/series"
+	"github.com/seriesmining/valmod/internal/valmap"
+)
+
+func main() {
+	var (
+		vmPath = flag.String("valmap", "", "VALMAP JSON file (from `valmod -valmap`)")
+		sPath  = flag.String("series", "", "series file the VALMAP was computed from")
+		at     = flag.Int("at", 0, "render the VALMAP state at this length (0 = final)")
+		k      = flag.Int("k", 10, "motifs to list")
+		expand = flag.Int("expand", 0, "expand the i-th listed motif (1-based) to its motif set")
+	)
+	flag.Parse()
+	if err := run(*vmPath, *sPath, *at, *k, *expand); err != nil {
+		fmt.Fprintln(os.Stderr, "valmod-view:", err)
+		os.Exit(1)
+	}
+}
+
+func run(vmPath, sPath string, at, k, expand int) error {
+	if vmPath == "" || sPath == "" {
+		return fmt.Errorf("-valmap and -series are required")
+	}
+	f, err := os.Open(vmPath)
+	if err != nil {
+		return err
+	}
+	vm, err := valmap.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	s, err := series.LoadFile(sPath)
+	if err != nil {
+		return err
+	}
+	if s.Len()-vm.LMin+1 != vm.Len() {
+		return fmt.Errorf("series (%d points) does not match VALMAP (%d slots at lmin=%d)", s.Len(), vm.Len(), vm.LMin)
+	}
+
+	if at == 0 {
+		at = vm.LMax
+	}
+	mpn, ip, lp, err := vm.StateAt(at)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("VALMAP %s  range [%d,%d]  state at length %d  (%d checkpoints)\n",
+		vmPath, vm.LMin, vm.LMax, at, len(vm.Checkpoints))
+	fmt.Println("\nseries:")
+	fmt.Println(asciiplot.Sparkline(s.Values, 100))
+	fmt.Println("\nMPn:")
+	fmt.Println(asciiplot.Sparkline(mpn, 100))
+	lpf := make([]float64, len(lp))
+	for i, v := range lp {
+		lpf[i] = float64(v)
+	}
+	fmt.Println("\nlength profile:")
+	fmt.Println(asciiplot.Sparkline(lpf, 100))
+
+	fmt.Println("\ncheckpoints (length: updates):")
+	for _, cp := range vm.Checkpoints {
+		marker := " "
+		if cp.L <= at {
+			marker = "*"
+		}
+		fmt.Printf("  %s %4d: %d updates\n", marker, cp.L, len(cp.Updates))
+	}
+
+	// Top-k motifs from the VALMAP state: best cells, deduped across
+	// overlapping intervals.
+	pairs := pairsFromState(mpn, ip, lp)
+	top := rank.TopK(pairs, k, 0)
+	fmt.Printf("\ntop-%d motifs of variable length:\n", k)
+	for i, p := range top {
+		fmt.Printf("  %2d. offsets %6d / %-6d length %4d  dn=%.4f\n", i+1, p.A, p.B, p.M, p.NormDist())
+	}
+
+	if expand > 0 && expand <= len(top) {
+		p := top[expand-1]
+		// The VALMAP stores the normalized distance; recover the raw one.
+		raw := series.ZNormDist(s.Values[p.A:p.A+p.M], s.Values[p.B:p.B+p.M])
+		p.Dist = raw
+		set, err := motifset.Expand(s.Values, p, 0, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nmotif set of #%d (radius %.3f): %d occurrences\n", expand, set.Radius, set.Size())
+		for _, m := range set.Members {
+			fmt.Printf("    offset %6d  d=%.4f\n", m.I, m.Dist)
+		}
+		fmt.Println("\noccurrence positions:")
+		fmt.Println(asciiplot.Sparkline(s.Values, 100))
+		fmt.Println(asciiplot.Mark(s.Len(), 100, set.Offsets()...))
+	}
+	return nil
+}
+
+// pairsFromState lifts VALMAP cells into motif pairs (finite cells only).
+func pairsFromState(mpn []float64, ip, lp []int) []profile.MotifPair {
+	var out []profile.MotifPair
+	for i := range mpn {
+		if ip[i] < 0 || math.IsInf(mpn[i], 1) || lp[i] < 2 {
+			continue
+		}
+		a, b := i, ip[i]
+		if a > b {
+			a, b = b, a
+		}
+		// MPn stores d·√(1/ℓ); recover the raw distance for the pair record.
+		out = append(out, profile.MotifPair{A: a, B: b, M: lp[i], Dist: mpn[i] * math.Sqrt(float64(lp[i]))})
+	}
+	sort.Slice(out, func(x, y int) bool { return out[x].Dist < out[y].Dist })
+	return out
+}

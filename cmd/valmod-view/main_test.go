@@ -1,0 +1,91 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+// buildArtifacts produces a series file and a matching VALMAP JSON.
+func buildArtifacts(t *testing.T) (vmPath, seriesPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	s := gen.SineMix(1200)
+	seriesPath = filepath.Join(dir, "s.txt")
+	if err := s.SaveFile(seriesPath); err != nil {
+		t.Fatal(err)
+	}
+	res, err := valmod.Discover(s.Values, 24, 48, valmod.Options{TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vmPath = filepath.Join(dir, "vm.json")
+	f, err := os.Create(vmPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := res.VALMAP.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	return vmPath, seriesPath
+}
+
+func TestViewRenders(t *testing.T) {
+	vmPath, seriesPath := buildArtifacts(t)
+	if err := run(vmPath, seriesPath, 0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-range state with expansion of the top motif.
+	if err := run(vmPath, seriesPath, 36, 5, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestViewValidation(t *testing.T) {
+	vmPath, seriesPath := buildArtifacts(t)
+	if err := run("", seriesPath, 0, 5, 0); err == nil {
+		t.Error("missing -valmap should fail")
+	}
+	if err := run(vmPath, "", 0, 5, 0); err == nil {
+		t.Error("missing -series should fail")
+	}
+	if err := run(vmPath, seriesPath, 7, 5, 0); err == nil {
+		t.Error("out-of-range state length should fail")
+	}
+	// Mismatched series: wrong length.
+	dir := t.TempDir()
+	short := filepath.Join(dir, "short.txt")
+	if err := os.WriteFile(short, []byte("1\n2\n3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(vmPath, short, 0, 5, 0); err == nil {
+		t.Error("mismatched series should fail")
+	}
+}
+
+func TestPairsFromState(t *testing.T) {
+	mpn := []float64{0.5, math.Inf(1), 0.2}
+	ip := []int{5, -1, 0}
+	lp := []int{10, 0, 20}
+	pairs := pairsFromState(mpn, ip, lp)
+	if len(pairs) != 2 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	// Sorted ascending by raw distance; pair ordering A < B enforced.
+	if pairs[0].A != 0 || pairs[0].B != 2 || pairs[0].M != 20 {
+		t.Errorf("pair 0 = %v", pairs[0])
+	}
+	if pairs[1].A != 0 || pairs[1].B != 5 {
+		t.Errorf("pair 1 = %v", pairs[1])
+	}
+	// Raw distance recovery: mpn·√ℓ.
+	wantRaw := 0.2 * math.Sqrt(20)
+	if math.Abs(pairs[0].Dist-wantRaw) > 1e-12 {
+		t.Errorf("raw dist %g, want %g", pairs[0].Dist, wantRaw)
+	}
+}

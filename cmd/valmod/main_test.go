@@ -1,0 +1,65 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/valmap"
+)
+
+func TestRunWithDataset(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "vm.json")
+	if err := run("", "sinemix", 1500, 1, 32, 64, 3, 5, out, true); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	vm, err := valmap.ReadJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.LMin != 32 || vm.LMax != 64 {
+		t.Errorf("VALMAP range [%d,%d]", vm.LMin, vm.LMax)
+	}
+	if vm.Len() != 1500-32+1 {
+		t.Errorf("VALMAP slots %d", vm.Len())
+	}
+}
+
+func TestRunWithFile(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "data.txt")
+	var content []byte
+	for i := 0; i < 600; i++ {
+		content = append(content, []byte("1.5\n2.5\n0.5\n-1\n")...)
+	}
+	if err := os.WriteFile(in, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, "", 0, 1, 8, 16, 2, 3, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunArgumentValidation(t *testing.T) {
+	if err := run("", "", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+		t.Error("missing input should fail")
+	}
+	if err := run("x.txt", "ecg", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+		t.Error("both -in and -dataset should fail")
+	}
+	if err := run("", "nope", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+	if err := run("/nonexistent.txt", "", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+		t.Error("missing file should fail")
+	}
+	if err := run("", "ecg", 100, 1, 80, 16, 1, 1, "", true); err == nil {
+		t.Error("inverted range should fail")
+	}
+}

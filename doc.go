@@ -1,0 +1,22 @@
+// Package valmod is a pure-Go implementation of VALMOD (Linardi, Zhu,
+// Palpanas, Keogh — SIGMOD 2018): exact, scalable discovery of data-series
+// motifs of variable length.
+//
+// Given a series and a length range [ℓmin, ℓmax], Discover returns the
+// exact top-k motif pairs of every length in the range, a cross-length
+// ranking under the length-normalized distance d·√(1/ℓ), and the VALMAP
+// meta data series ⟨MPn, IP, LP⟩ that shows at which length each
+// subsequence found its best match.
+//
+// Quick start:
+//
+//	res, err := valmod.Discover(values, 50, 400, valmod.Options{})
+//	if err != nil { ... }
+//	best, _ := res.BestOverall()
+//	fmt.Printf("motif: offsets %d and %d, length %d, distance %.3f\n",
+//		best.A, best.B, best.Length, best.Distance)
+//
+// Fixed-length helpers (MatrixProfile, DistanceProfile) expose the
+// substrate directly, and ExpandMotifSet grows any discovered pair into the
+// full set of its occurrences.
+package valmod

@@ -1,0 +1,56 @@
+// ASTRO scenario: a celestial light curve mixes pulsation modes at several
+// periods with transit dips of varying duration. A single subsequence
+// length cannot rank patterns living at different scales; the
+// length-normalized ranking can.
+//
+//	go run ./examples/astro
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+func main() {
+	s := gen.Astro(12000, 3)
+
+	res, err := valmod.Discover(s.Values, 60, 340, valmod.Options{TopK: 5, P: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("top variable-length motifs in the light curve:")
+	motifs := res.TopMotifs(8)
+	for i, m := range motifs {
+		fmt.Printf("  %d. offsets %6d / %-6d length %3d  dn=%.4f\n", i+1, m.A, m.B, m.Length, m.NormDistance)
+	}
+
+	// The distinct motif lengths found: evidence of multi-scale structure.
+	lengths := map[int]bool{}
+	for _, m := range motifs {
+		lengths[m.Length] = true
+	}
+	var ls []int
+	for l := range lengths {
+		ls = append(ls, l)
+	}
+	sort.Ints(ls)
+	fmt.Printf("\ndistinct pattern scales discovered: %v\n", ls)
+
+	// Length profile census: at how many offsets did a longer-than-minimum
+	// match win?
+	longer := 0
+	for i, l := range res.VALMAP.LP {
+		if res.VALMAP.IP[i] >= 0 && l > 60 {
+			longer++
+		}
+	}
+	fmt.Printf("%d of %d VALMAP slots preferred a pattern longer than lmin\n", longer, len(res.VALMAP.LP))
+
+	// Checkpoints: the lengths at which the picture changed.
+	fmt.Printf("VALMAP improved at %d distinct lengths\n", len(res.VALMAP.Checkpoints()))
+}

@@ -1,0 +1,63 @@
+// ECG scenario (the paper's Figure 1 narrative): at a fixed short length
+// the matrix profile only captures a fragment of a heartbeat; searching a
+// length range recovers the full beat, and the VALMAP length profile shows
+// where longer matches win.
+//
+//	go run ./examples/ecg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/asciiplot"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+func main() {
+	s := gen.ECG(5000, 7)
+
+	// Fixed-length view (Figure 1 left): l=50 sees only part of a beat.
+	fp, err := valmod.MatrixProfile(s.Values, 50, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	short := fp.TopPairs(1)[0]
+	fmt.Printf("fixed length 50: motif at offsets %d/%d, d=%.3f — a fragment of a beat\n",
+		short.A, short.B, short.Distance)
+
+	// Variable-length view (Figure 1 right): search [50, 400].
+	res, err := valmod.Discover(s.Values, 50, 400, valmod.Options{TopK: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+	long, _ := res.BestOverall()
+	fmt.Printf("variable length:  best motif at offsets %d/%d, length %d, dn=%.4f\n",
+		long.A, long.B, long.Length, long.NormDistance)
+	if long.Length > short.Length {
+		fmt.Printf("→ the range search found a %d-point pattern (full beat), not the %d-point fragment\n",
+			long.Length, short.Length)
+	}
+
+	fmt.Println("\nECG snippet:")
+	fmt.Println(asciiplot.Sparkline(s.Values, 110))
+	fmt.Println(asciiplot.Mark(s.Len(), 110, long.A, long.B))
+	fmt.Println("\nVALMAP length profile (where longer matches won):")
+	lp := make([]float64, len(res.VALMAP.LP))
+	for i, v := range res.VALMAP.LP {
+		lp[i] = float64(v)
+	}
+	fmt.Println(asciiplot.Sparkline(lp, 110))
+
+	// Beat census: expand the best motif into all its occurrences.
+	set, err := res.MotifSet(long, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nthe best motif occurs %d times (≈ one per beat):\n  offsets:", len(set))
+	for _, m := range set {
+		fmt.Printf(" %d", m.Offset)
+	}
+	fmt.Println()
+}

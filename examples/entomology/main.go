@@ -1,0 +1,54 @@
+// Entomology scenario (EPG — electrical penetration graphs of insect
+// feeding): behavioral episodes (probing, ingestion) repeat with different
+// durations per episode. Variable-length discovery separates the behaviors
+// without knowing either duration in advance — the demo's fourth dataset.
+//
+//	go run ./examples/entomology
+package main
+
+import (
+	"fmt"
+	"log"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/asciiplot"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+func main() {
+	s := gen.EPG(12000, 5)
+
+	res, err := valmod.Discover(s.Values, 40, 200, valmod.Options{TopK: 5, P: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("EPG signal (baseline / probing / ingestion episodes):")
+	fmt.Println(asciiplot.Sparkline(s.Values, 110))
+
+	fmt.Println("\ntop motifs across lengths — candidate behavioral signatures:")
+	motifs := res.TopMotifs(6)
+	for i, m := range motifs {
+		fmt.Printf("  %d. offsets %6d / %-6d length %3d  dn=%.4f\n",
+			i+1, m.A, m.B, m.Length, m.NormDistance)
+	}
+
+	// Expand the top two distinct motifs: different behaviors should
+	// expand to different, non-overlapping occurrence sets.
+	for i, m := range motifs {
+		if i >= 2 {
+			break
+		}
+		set, err := res.MotifSet(m, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nbehavior %d (length %d) occurs %d times:\n", i+1, m.Length, len(set))
+		offs := make([]int, len(set))
+		for j, mm := range set {
+			offs[j] = mm.Offset
+		}
+		fmt.Println(asciiplot.Sparkline(s.Values, 110))
+		fmt.Println(asciiplot.Mark(s.Len(), 110, offs...))
+	}
+}

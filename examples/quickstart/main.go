@@ -1,0 +1,58 @@
+// Quickstart: plant a repeated pattern in a random walk and let VALMOD find
+// it without being told its length.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+func main() {
+	// Build a 5000-point random walk.
+	rng := rand.New(rand.NewSource(42))
+	values := make([]float64, 5000)
+	v := 0.0
+	for i := range values {
+		v += rng.NormFloat64()
+		values[i] = v
+	}
+	// Hide the same 73-point pattern at offsets 1000 and 3200. Note that 73
+	// is not a length we will pass to Discover — that is the point.
+	for i := 0; i < 73; i++ {
+		w := math.Sin(float64(i)*0.25) * 10
+		values[1000+i] = w
+		values[3200+i] = w + rng.NormFloat64()*0.05
+	}
+
+	// Search every length from 32 to 128.
+	res, err := valmod.Discover(values, 32, 128, valmod.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	best, ok := res.BestOverall()
+	if !ok {
+		log.Fatal("no motif found")
+	}
+	fmt.Printf("best motif across all lengths: offsets %d and %d, length %d, distance %.4f\n",
+		best.A, best.B, best.Length, best.Distance)
+
+	fmt.Println("\ntop 5 motifs (length-normalized ranking):")
+	for i, m := range res.TopMotifs(5) {
+		fmt.Printf("  %d. offsets %5d / %-5d length %3d  dn=%.4f\n", i+1, m.A, m.B, m.Length, m.NormDistance)
+	}
+
+	// How much work did the lower bound save?
+	certified, recomputed := 0, 0
+	for _, lr := range res.PerLength {
+		certified += lr.Certified
+		recomputed += lr.Recomputed
+	}
+	fmt.Printf("\npruning: %d anchors certified by the lower bound, only %d recomputed\n", certified, recomputed)
+}

@@ -1,0 +1,57 @@
+// Seismology scenario: repeated seismic events have unknown and variable
+// durations, so fixing a subsequence length truncates or dilutes them. The
+// VALMAP length profile reads out the natural event duration directly.
+//
+//	go run ./examples/seismic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/asciiplot"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+func main() {
+	s := gen.Seismic(15000, 11)
+
+	res, err := valmod.Discover(s.Values, 100, 400, valmod.Options{TopK: 3, P: 12})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("seismogram:")
+	fmt.Println(asciiplot.Sparkline(s.Values, 110))
+
+	best, ok := res.BestOverall()
+	if !ok {
+		log.Fatal("no repeated event found")
+	}
+	fmt.Printf("\nbest repeated event: offsets %d and %d, duration %d samples, dn=%.4f\n",
+		best.A, best.B, best.Length, best.NormDistance)
+	fmt.Println(asciiplot.Mark(s.Len(), 110, best.A, best.B))
+
+	// Compare against two fixed-length guesses that bracket the true
+	// duration: both rank worse under the normalized distance.
+	for _, guess := range []int{100, 400} {
+		lr, ok := res.OfLength(guess)
+		if !ok || len(lr.Pairs) == 0 {
+			continue
+		}
+		p := lr.Pairs[0]
+		fmt.Printf("fixed guess %3d: best dn=%.4f  (vs %.4f at the discovered duration %d)\n",
+			guess, p.NormDistance, best.NormDistance, best.Length)
+	}
+
+	// Event census via motif-set expansion.
+	set, err := res.MotifSet(best, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nevent occurs %d times:\n", len(set))
+	for _, m := range set {
+		fmt.Printf("  offset %6d  d=%.3f\n", m.Offset, m.Distance)
+	}
+}

@@ -1,0 +1,92 @@
+package valmod
+
+import (
+	"fmt"
+
+	"github.com/seriesmining/valmod/internal/mass"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+// FixedProfile is a classic fixed-length matrix profile (Matrix Profile
+// I/II), the structure in demo Figure 1(b–c).
+type FixedProfile struct {
+	// Length is the subsequence length.
+	Length int
+	// Dist[i] is the z-normalized distance from subsequence i to its
+	// nearest non-trivial neighbor; Index[i] is that neighbor's offset.
+	Dist  []float64
+	Index []int
+}
+
+// asInternal rebuilds the internal representation (the exclusion zone is
+// recoverable from the length).
+func (fp *FixedProfile) asInternal() *profile.MatrixProfile {
+	return &profile.MatrixProfile{
+		M:         fp.Length,
+		Exclusion: profile.ExclusionZone(fp.Length, 0),
+		Dist:      fp.Dist,
+		Index:     fp.Index,
+	}
+}
+
+// TopPairs extracts the k best non-overlapping motif pairs.
+func (fp *FixedProfile) TopPairs(k int) []MotifPair {
+	pairs := fp.asInternal().TopKPairs(k)
+	out := make([]MotifPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = fromInternal(p)
+	}
+	return out
+}
+
+// Discords extracts the k most anomalous subsequences (largest
+// nearest-neighbor distance).
+func (fp *FixedProfile) Discords(k int) []SetMember {
+	ds := fp.asInternal().TopKDiscords(k)
+	out := make([]SetMember, len(ds))
+	for i, d := range ds {
+		out[i] = SetMember{Offset: d.I, Distance: d.Dist}
+	}
+	return out
+}
+
+// MatrixProfile computes the exact fixed-length matrix profile of values at
+// subsequence length m, using all CPU cores when parallel is true.
+func MatrixProfile(values []float64, m int, parallel bool) (*FixedProfile, error) {
+	var (
+		mp  *profile.MatrixProfile
+		err error
+	)
+	if parallel {
+		mp, err = stomp.ComputeParallel(values, m, 0, 0)
+	} else {
+		mp, err = stomp.Compute(values, m, 0)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return &FixedProfile{Length: m, Dist: mp.Dist, Index: mp.Index}, nil
+}
+
+// DistanceProfile returns the z-normalized Euclidean distance from query to
+// every subsequence of series (MASS, O(n log n)). It errors when the query
+// is empty or longer than the series.
+func DistanceProfile(query, series []float64) ([]float64, error) {
+	if len(query) == 0 || len(query) > len(series) {
+		return nil, fmt.Errorf("%w: query length %d vs series %d", ErrBadInput, len(query), len(series))
+	}
+	return mass.DistanceProfile(query, series), nil
+}
+
+// JoinProfile computes the AB-join matrix profile at subsequence length m:
+// for every subsequence of a, the distance to its nearest neighbor among
+// the subsequences of b. Index values refer to offsets in b; no exclusion
+// zone applies because cross-series matches are never trivial.
+func JoinProfile(a, b []float64, m int) (*FixedProfile, error) {
+	mp, err := stomp.ComputeAB(a, b, m)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return &FixedProfile{Length: m, Dist: mp.Dist, Index: mp.Index}, nil
+}

@@ -1,0 +1,146 @@
+// Package asciiplot renders data series and profiles as terminal text. It
+// stands in for the demo system's Python/matplotlib front-end (demo
+// Figures 4–5): cmd/valmod-view composes these plots into the VALMAP
+// analysis screens.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// sparkRunes are eight vertical-resolution levels for one-line plots.
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Sparkline renders values as a single line of block characters, resampling
+// to width columns (width ≤ 0 uses one column per value). Infinite values
+// render as spaces.
+func Sparkline(values []float64, width int) string {
+	if len(values) == 0 {
+		return ""
+	}
+	cols := resample(values, width)
+	lo, hi := finiteRange(cols)
+	var b strings.Builder
+	for _, v := range cols {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			b.WriteByte(' ')
+			continue
+		}
+		level := 0
+		if hi > lo {
+			level = int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+		}
+		b.WriteRune(sparkRunes[level])
+	}
+	return b.String()
+}
+
+// Plot renders values as a width×height character panel with a left axis
+// showing the min and max. Infinite values are skipped.
+func Plot(values []float64, width, height int) string {
+	if len(values) == 0 || width <= 0 || height <= 0 {
+		return ""
+	}
+	cols := resample(values, width)
+	lo, hi := finiteRange(cols)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		row := height - 1
+		if hi > lo {
+			row = int((hi - v) / (hi - lo) * float64(height-1))
+		}
+		grid[row][c] = '*'
+	}
+	var b strings.Builder
+	for r, line := range grid {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%10.3g |%s\n", hi, line)
+		case height - 1:
+			fmt.Fprintf(&b, "%10.3g |%s\n", lo, line)
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", line)
+		}
+	}
+	b.WriteString(strings.Repeat(" ", 11) + "+" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}
+
+// Mark returns a one-line ruler of the same width as a resampled plot with
+// '^' markers at the given original indices (e.g. motif offsets).
+func Mark(n, width int, indices ...int) string {
+	if width <= 0 || n <= 0 {
+		return ""
+	}
+	if width > n {
+		width = n
+	}
+	line := []byte(strings.Repeat(" ", width))
+	for _, idx := range indices {
+		if idx < 0 || idx >= n {
+			continue
+		}
+		c := idx * width / n
+		if c >= width {
+			c = width - 1
+		}
+		line[c] = '^'
+	}
+	return string(line)
+}
+
+// resample shrinks values to width columns by bucket means (of the finite
+// entries); width ≤ 0 or width ≥ len keeps the original resolution.
+func resample(values []float64, width int) []float64 {
+	n := len(values)
+	if width <= 0 || width >= n {
+		out := make([]float64, n)
+		copy(out, values)
+		return out
+	}
+	out := make([]float64, width)
+	for c := 0; c < width; c++ {
+		lo := c * n / width
+		hi := (c + 1) * n / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		sum, cnt := 0.0, 0
+		for _, v := range values[lo:hi] {
+			if !math.IsInf(v, 0) && !math.IsNaN(v) {
+				sum += v
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[c] = math.Inf(1)
+		} else {
+			out[c] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// finiteRange returns the min and max over finite entries; (0, 0) when none.
+func finiteRange(values []float64) (lo, hi float64) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	for _, v := range values {
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			continue
+		}
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > hi {
+		return 0, 0
+	}
+	return lo, hi
+}

@@ -1,0 +1,104 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSparklineWidthAndLevels(t *testing.T) {
+	s := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 0)
+	if got := len([]rune(s)); got != 8 {
+		t.Fatalf("width %d, want 8", got)
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("extremes wrong: %q", s)
+	}
+}
+
+func TestSparklineResample(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	s := Sparkline(vals, 40)
+	if got := len([]rune(s)); got != 40 {
+		t.Fatalf("width %d, want 40", got)
+	}
+}
+
+func TestSparklineEmptyAndInf(t *testing.T) {
+	if Sparkline(nil, 10) != "" {
+		t.Error("empty input should render empty")
+	}
+	s := Sparkline([]float64{1, math.Inf(1), 3}, 0)
+	if !strings.Contains(s, " ") {
+		t.Errorf("infinite value should render as space: %q", s)
+	}
+}
+
+func TestSparklineConstant(t *testing.T) {
+	s := Sparkline([]float64{5, 5, 5}, 0)
+	if len([]rune(s)) != 3 {
+		t.Fatalf("constant sparkline: %q", s)
+	}
+}
+
+func TestPlotDimensions(t *testing.T) {
+	vals := []float64{0, 5, 10, 5, 0}
+	out := Plot(vals, 20, 6)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 7 { // 6 rows + axis
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Top row carries the max label, bottom data row the min label.
+	if !strings.Contains(lines[0], "10") {
+		t.Errorf("max label missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[5], "0") {
+		t.Errorf("min label missing: %q", lines[5])
+	}
+	// A peak must appear in the top row.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("peak not at top: %q", lines[0])
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if Plot(nil, 10, 5) != "" || Plot([]float64{1}, 0, 5) != "" {
+		t.Error("degenerate plots should be empty")
+	}
+}
+
+func TestMark(t *testing.T) {
+	m := Mark(100, 10, 0, 50, 99)
+	if len(m) != 10 {
+		t.Fatalf("width %d", len(m))
+	}
+	if m[0] != '^' || m[5] != '^' || m[9] != '^' {
+		t.Errorf("markers misplaced: %q", m)
+	}
+	if Mark(100, 10, -5, 200) != strings.Repeat(" ", 10) {
+		t.Error("out-of-range indices should be ignored")
+	}
+}
+
+func TestResampleBuckets(t *testing.T) {
+	vals := []float64{1, 1, 3, 3}
+	out := resample(vals, 2)
+	if out[0] != 1 || out[1] != 3 {
+		t.Errorf("bucket means = %v", out)
+	}
+}
+
+func TestFiniteRange(t *testing.T) {
+	lo, hi := finiteRange([]float64{math.Inf(1), 2, -1, math.NaN()})
+	if lo != -1 || hi != 2 {
+		t.Errorf("range = %g %g", lo, hi)
+	}
+	lo, hi = finiteRange([]float64{math.Inf(1)})
+	if lo != 0 || hi != 0 {
+		t.Errorf("all-inf range = %g %g", lo, hi)
+	}
+}

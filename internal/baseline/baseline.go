@@ -1,0 +1,44 @@
+// Package baseline defines the shared surface of the three competitor
+// algorithms the paper's evaluation compares VALMOD against (demo Figure 3):
+// STOMP adapted to a length range, QUICKMOTIF adapted to a length range,
+// and MOEN. All three are exact; they differ only in cost.
+//
+// Each baseline accepts a context so the benchmark harness can impose the
+// paper's wall-clock timeouts ("Time out after 24h"); cancellation is
+// checked between lengths, the granularity the experiments need.
+package baseline
+
+import (
+	"context"
+	"errors"
+
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+// ErrCanceled is returned when the context expires mid-run; partial results
+// accompany it.
+var ErrCanceled = errors.New("baseline: canceled")
+
+// LengthResult is one length's exact output: the top pairs ascending.
+type LengthResult struct {
+	M     int
+	Pairs []profile.MotifPair
+}
+
+// Best returns the best pair of the length, or false when none exists.
+func (lr LengthResult) Best() (profile.MotifPair, bool) {
+	if len(lr.Pairs) == 0 {
+		return profile.MotifPair{}, false
+	}
+	return lr.Pairs[0], true
+}
+
+// Canceled reports whether ctx has expired.
+func Canceled(ctx context.Context) bool {
+	select {
+	case <-ctx.Done():
+		return true
+	default:
+		return false
+	}
+}

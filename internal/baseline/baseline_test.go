@@ -1,0 +1,31 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+func TestBest(t *testing.T) {
+	lr := LengthResult{M: 10}
+	if _, ok := lr.Best(); ok {
+		t.Error("empty result should have no best")
+	}
+	lr.Pairs = []profile.MotifPair{{A: 1, B: 9, M: 10, Dist: 0.5}}
+	p, ok := lr.Best()
+	if !ok || p.A != 1 {
+		t.Errorf("Best = %v %v", p, ok)
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	if Canceled(context.Background()) {
+		t.Error("background context should not be canceled")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if !Canceled(ctx) {
+		t.Error("canceled context not detected")
+	}
+}

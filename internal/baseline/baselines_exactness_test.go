@@ -1,0 +1,183 @@
+package baseline_test
+
+// Cross-baseline exactness tests: every algorithm in the comparative
+// evaluation must produce the same best motif pair distance per length as
+// brute-force STOMP, on both unstructured and structured data.
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/seriesmining/valmod/internal/baseline"
+	"github.com/seriesmining/valmod/internal/baseline/moen"
+	"github.com/seriesmining/valmod/internal/baseline/quickmotif"
+	"github.com/seriesmining/valmod/internal/baseline/stomprange"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+func randWalk(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	v := 0.0
+	for i := range x {
+		v += rng.NormFloat64()
+		x[i] = v
+	}
+	return x
+}
+
+func sineMix(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		f := float64(i)
+		x[i] = math.Sin(f*0.19) + 0.6*math.Sin(f*0.037) + 0.25*math.Sin(f*0.011)
+	}
+	return x
+}
+
+// wantBest computes the reference best distance per length via STOMP.
+func wantBest(t *testing.T, x []float64, lmin, lmax int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, lmax-lmin+1)
+	for m := lmin; m <= lmax; m++ {
+		mp, err := stomp.Compute(x, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := mp.TopKPairs(1)
+		if len(pairs) == 0 {
+			out = append(out, math.Inf(1))
+		} else {
+			out = append(out, pairs[0].Dist)
+		}
+	}
+	return out
+}
+
+func checkAgainstReference(t *testing.T, tag string, got []baseline.LengthResult, want []float64, lmin int) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d lengths, want %d", tag, len(got), len(want))
+	}
+	for i, lr := range got {
+		if lr.M != lmin+i {
+			t.Fatalf("%s: result %d has m=%d, want %d", tag, i, lr.M, lmin+i)
+		}
+		best, ok := lr.Best()
+		if math.IsInf(want[i], 1) {
+			if ok {
+				t.Fatalf("%s m=%d: found pair %v where reference has none", tag, lr.M, best)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("%s m=%d: no pair, reference %g", tag, lr.M, want[i])
+		}
+		if math.Abs(best.Dist-want[i]) > 1e-6*(1+want[i]) {
+			t.Fatalf("%s m=%d: dist %g, want %g (pair %v)", tag, lr.M, best.Dist, want[i], best)
+		}
+	}
+}
+
+func TestSTOMPRangeExact(t *testing.T) {
+	x := randWalk(1, 300)
+	want := wantBest(t, x, 8, 32)
+	got, err := stomprange.Run(context.Background(), x, stomprange.Config{LMin: 8, LMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "stomprange", got, want, 8)
+}
+
+func TestSTOMPRangeParallelExact(t *testing.T) {
+	x := randWalk(2, 300)
+	want := wantBest(t, x, 8, 24)
+	got, err := stomprange.Run(context.Background(), x,
+		stomprange.Config{LMin: 8, LMax: 24, Parallel: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "stomprange-parallel", got, want, 8)
+}
+
+func TestMOENExactRandomWalk(t *testing.T) {
+	x := randWalk(3, 350)
+	want := wantBest(t, x, 8, 40)
+	got, err := moen.Run(context.Background(), x, moen.Config{LMin: 8, LMax: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "moen", got, want, 8)
+}
+
+func TestMOENExactStructured(t *testing.T) {
+	x := sineMix(400)
+	want := wantBest(t, x, 16, 48)
+	got, err := moen.Run(context.Background(), x, moen.Config{LMin: 16, LMax: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "moen-structured", got, want, 16)
+}
+
+func TestQuickMotifExactRandomWalk(t *testing.T) {
+	x := randWalk(4, 350)
+	want := wantBest(t, x, 8, 40)
+	got, err := quickmotif.Run(context.Background(), x, quickmotif.Config{LMin: 8, LMax: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "quickmotif", got, want, 8)
+}
+
+func TestQuickMotifExactStructured(t *testing.T) {
+	x := sineMix(400)
+	want := wantBest(t, x, 16, 48)
+	got, err := quickmotif.Run(context.Background(), x, quickmotif.Config{LMin: 16, LMax: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "quickmotif-structured", got, want, 16)
+}
+
+func TestQuickMotifOddSegmentSizes(t *testing.T) {
+	// m not divisible by the PAA size: the weighted sketch must stay a
+	// valid lower bound (regression test for uneven-segment handling).
+	x := randWalk(5, 300)
+	want := wantBest(t, x, 10, 13)
+	got, err := quickmotif.Run(context.Background(), x,
+		quickmotif.Config{LMin: 10, LMax: 13, PAASize: 8, BlockSize: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "quickmotif-odd", got, want, 10)
+}
+
+func TestBaselinesHonorCancellation(t *testing.T) {
+	x := randWalk(6, 2000)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := stomprange.Run(ctx, x, stomprange.Config{LMin: 64, LMax: 256}); err != baseline.ErrCanceled {
+		t.Errorf("stomprange: err = %v, want ErrCanceled", err)
+	}
+	if _, err := moen.Run(ctx, x, moen.Config{LMin: 64, LMax: 256}); err != baseline.ErrCanceled {
+		t.Errorf("moen: err = %v, want ErrCanceled", err)
+	}
+	if _, err := quickmotif.Run(ctx, x, quickmotif.Config{LMin: 64, LMax: 256}); err != baseline.ErrCanceled {
+		t.Errorf("quickmotif: err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestMOENSmallReferenceCount(t *testing.T) {
+	x := randWalk(7, 150)
+	want := wantBest(t, x, 8, 16)
+	got, err := moen.Run(context.Background(), x, moen.Config{LMin: 8, LMax: 16, References: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstReference(t, "moen-1ref", got, want, 8)
+}

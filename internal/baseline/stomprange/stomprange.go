@@ -1,0 +1,53 @@
+// Package stomprange adapts STOMP to a subsequence-length range exactly the
+// way the paper's evaluation did ("they have been adapted to find all the
+// motifs for a given subsequence length range"): one full matrix-profile
+// computation per length. It is exact and embarrassingly simple — and it is
+// the O((ℓmax−ℓmin)·n²) cost model VALMOD exists to beat.
+package stomprange
+
+import (
+	"context"
+
+	"github.com/seriesmining/valmod/internal/baseline"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+// Config parameterizes a STOMP range run.
+type Config struct {
+	LMin, LMax      int
+	TopK            int // pairs per length (default 1)
+	ExclusionFactor int // default 4
+	// Parallel uses the goroutine-partitioned STOMP per length.
+	Parallel bool
+	// Workers bounds parallelism when Parallel is set (0 = GOMAXPROCS).
+	Workers int
+}
+
+// Run executes STOMP once per length. On context expiry it returns the
+// lengths completed so far together with baseline.ErrCanceled.
+func Run(ctx context.Context, t []float64, cfg Config) ([]baseline.LengthResult, error) {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 1
+	}
+	var out []baseline.LengthResult
+	for m := cfg.LMin; m <= cfg.LMax; m++ {
+		if baseline.Canceled(ctx) {
+			return out, baseline.ErrCanceled
+		}
+		var (
+			mp  *profile.MatrixProfile
+			err error
+		)
+		if cfg.Parallel {
+			mp, err = stomp.ComputeParallel(t, m, cfg.ExclusionFactor, cfg.Workers)
+		} else {
+			mp, err = stomp.Compute(t, m, cfg.ExclusionFactor)
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, baseline.LengthResult{M: m, Pairs: mp.TopKPairs(cfg.TopK)})
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWorkersProduceEquivalentResults: the parallel seed partitions rows,
+// which are independent; every worker count must give the same profile
+// values and pair distances within floating tolerance (block-boundary rows
+// are seeded by FFT instead of the serial recurrence chain, shifting
+// distances by ~1e-10, which can re-resolve exact ties).
+func TestWorkersProduceEquivalentResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randWalk(rng, 900)
+	var results []*Result
+	for _, w := range []int{1, 2, 4, 8} {
+		res, err := Run(x, Config{LMin: 16, LMax: 40, TopK: 3, P: 5, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	base := results[0]
+	for ri, res := range results[1:] {
+		for i := range base.MPMin.Dist {
+			a, b := base.MPMin.Dist[i], res.MPMin.Dist[i]
+			if math.IsInf(a, 1) != math.IsInf(b, 1) {
+				t.Fatalf("workers variant %d: profile slot %d inf mismatch", ri, i)
+			}
+			if !math.IsInf(a, 1) && math.Abs(a-b) > 1e-7*(1+a) {
+				t.Fatalf("workers variant %d: profile slot %d: %g vs %g", ri, i, a, b)
+			}
+		}
+		for li := range base.PerLength {
+			a, b := base.PerLength[li].Pairs, res.PerLength[li].Pairs
+			if len(a) != len(b) {
+				t.Fatalf("workers variant %d: m=%d pair count", ri, base.PerLength[li].M)
+			}
+			for pi := range a {
+				if math.Abs(a[pi].Dist-b[pi].Dist) > 1e-7*(1+a[pi].Dist) {
+					t.Fatalf("workers variant %d: m=%d pair %d: %v vs %v",
+						ri, base.PerLength[li].M, pi, a[pi], b[pi])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSeedExact: the default (all cores) configuration stays exact.
+func TestParallelSeedExact(t *testing.T) {
+	x := sineMix(700)
+	res, err := Run(x, Config{LMin: 20, LMax: 44, TopK: 2, P: 6, Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range res.PerLength {
+		want := referencePairs(t, x, lr.M, 2, 0)
+		assertPairsEquivalent(t, lr.StatsTag(), lr.Pairs, want)
+	}
+}
+
+// TestWorkersClampedOnTinySeries: more workers than rows must not panic or
+// lose rows.
+func TestWorkersClampedOnTinySeries(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	x := randWalk(rng, 80)
+	res, err := Run(x, Config{LMin: 8, LMax: 16, TopK: 1, Workers: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lr := range res.PerLength {
+		want := referencePairs(t, x, lr.M, 1, 0)
+		if len(lr.Pairs) != len(want) {
+			t.Fatalf("m=%d: %d pairs want %d", lr.M, len(lr.Pairs), len(want))
+		}
+		if len(want) > 0 && math.Abs(lr.Pairs[0].Dist-want[0].Dist) > 1e-6*(1+want[0].Dist) {
+			t.Fatalf("m=%d: %g want %g", lr.M, lr.Pairs[0].Dist, want[0].Dist)
+		}
+	}
+}

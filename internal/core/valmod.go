@@ -1,0 +1,805 @@
+// Package core implements VALMOD (Variable-Length Motif Discovery), the
+// paper's primary contribution: exact top-k motif pairs for every
+// subsequence length in [ℓmin, ℓmax], at a fraction of the cost of running
+// a fixed-length algorithm per length.
+//
+// The algorithm follows the demo paper §2 exactly:
+//
+//  1. Compute the matrix profile at ℓmin with STOMP-style row recurrences.
+//     While each distance-profile row is in memory, retain the p entries
+//     with the smallest lower-bounding distance (internal/lb; rank
+//     preservation makes this the p largest q̃²) — the "partial distance
+//     profiles".
+//  2. For each longer length, advance each retained entry's dot product in
+//     O(1), recompute its exact distance, and compare the anchor's best
+//     exact distance (minDist) against the bound covering every
+//     non-retained candidate (maxLB). minDist ≤ maxLB certifies the anchor:
+//     its matrix-profile value at this length is exact (a "valid partial
+//     distance profile", Figure 2b top). Otherwise the anchor is non-valid
+//     (Figure 2b bottom).
+//  3. minLBAbs — the smallest maxLB among non-valid anchors — certifies the
+//     extracted top-k pairs; anchors that could still hide better matches
+//     (maxLB below the current k-th best distance) get their distance
+//     profile recomputed with MASS and their partial profile reseeded.
+//     When too many anchors need recomputing, fall back to one full
+//     STOMP pass at that length and reseed everything.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/lb"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/series"
+	"github.com/seriesmining/valmod/internal/stomp"
+	"github.com/seriesmining/valmod/internal/valmap"
+)
+
+// Default parameter values; see Config.
+const (
+	DefaultTopK = 10
+	DefaultP    = 10
+	// DefaultRecomputeFraction: one MASS recompute costs Θ(n log n), a full
+	// STOMP pass Θ(s²) — but the full pass also reseeds every partial
+	// profile with tight bounds at the current length, so the breakeven
+	// sits near s/log n ≈ 5% of anchors, not 25%.
+	DefaultRecomputeFraction = 0.05
+)
+
+// ErrBadConfig is returned when the configuration is inconsistent with the
+// series.
+var ErrBadConfig = errors.New("core: bad config")
+
+// Config parameterizes a VALMOD run.
+type Config struct {
+	// LMin, LMax bound the subsequence lengths (inclusive).
+	LMin, LMax int
+	// TopK is the number of motif pairs reported per length (default 10).
+	TopK int
+	// P is the number of entries retained per partial distance profile
+	// (default 10). Larger P certifies more anchors per length at the cost
+	// of memory and per-length work.
+	P int
+	// ExclusionFactor sets the trivial-match zone ⌈ℓ/factor⌉ (default 4).
+	ExclusionFactor int
+	// RecomputeFraction is the fraction of anchors above which a full
+	// per-length STOMP recompute replaces individual MASS recomputes
+	// (default 0.05; see DefaultRecomputeFraction for the cost model).
+	RecomputeFraction float64
+	// DisablePruning forces a full recompute at every length — the
+	// lower-bound ablation. The output is identical; only time changes.
+	DisablePruning bool
+	// Workers bounds the goroutines used by the full-length scans (the
+	// ℓmin seed and full-recompute fallbacks). 0 selects GOMAXPROCS;
+	// 1 runs serially. Rows are independent, so results agree across
+	// settings up to floating-point rounding: each block seeds its first
+	// dot-product row by FFT instead of the serial recurrence chain, which
+	// can move a distance by ~1e-10 and resolve an exact tie differently.
+	Workers int
+}
+
+func (c *Config) fill() {
+	if c.TopK <= 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.P <= 0 {
+		c.P = DefaultP
+	}
+	if c.ExclusionFactor <= 0 {
+		c.ExclusionFactor = profile.DefaultExclusionFactor
+	}
+	if c.RecomputeFraction <= 0 || c.RecomputeFraction > 1 {
+		c.RecomputeFraction = DefaultRecomputeFraction
+	}
+}
+
+func (c Config) validate(n int) error {
+	if c.LMin < 4 {
+		return fmt.Errorf("%w: LMin=%d, need >= 4", ErrBadConfig, c.LMin)
+	}
+	if c.LMax < c.LMin {
+		return fmt.Errorf("%w: LMax=%d < LMin=%d", ErrBadConfig, c.LMax, c.LMin)
+	}
+	if c.LMax > n {
+		return fmt.Errorf("%w: LMax=%d > series length %d", ErrBadConfig, c.LMax, n)
+	}
+	return nil
+}
+
+// LengthStats instruments one length of the run for the ablation benches.
+type LengthStats struct {
+	// Certified counts anchors whose profile value was certified by the
+	// lower bound alone.
+	Certified int
+	// Recomputed counts anchors individually recomputed with MASS.
+	Recomputed int
+	// FullRecompute reports a whole-length STOMP fallback.
+	FullRecompute bool
+}
+
+// LengthResult carries the exact output of one subsequence length.
+type LengthResult struct {
+	// M is the subsequence length.
+	M int
+	// Pairs are the exact top-k motif pairs, ascending distance.
+	Pairs []profile.MotifPair
+	// Stats instruments how the length was resolved.
+	Stats LengthStats
+}
+
+// Best returns the best pair and true, or a zero pair and false when the
+// length admits no pair.
+func (lr LengthResult) Best() (profile.MotifPair, bool) {
+	if len(lr.Pairs) == 0 {
+		return profile.MotifPair{}, false
+	}
+	return lr.Pairs[0], true
+}
+
+// StatsTag renders a short diagnostic label ("m=32 cert=412 rec=3 full=false")
+// used by tests and verbose logs.
+func (lr LengthResult) StatsTag() string {
+	return fmt.Sprintf("m=%d cert=%d rec=%d full=%v",
+		lr.M, lr.Stats.Certified, lr.Stats.Recomputed, lr.Stats.FullRecompute)
+}
+
+// Result is a completed VALMOD run.
+type Result struct {
+	// N is the input series length.
+	N int
+	// Cfg echoes the effective configuration (defaults filled in).
+	Cfg Config
+	// MPMin is the exact matrix profile at ℓmin (demo Figure 1b-c).
+	MPMin *profile.MatrixProfile
+	// PerLength holds one entry per length, ℓmin first.
+	PerLength []LengthResult
+	// VMap is the VALMAP meta structure (demo Figure 1e-f).
+	VMap *valmap.VALMAP
+}
+
+// GlobalBest returns the best motif pair across all lengths under the
+// length-normalized distance, or false when no length produced a pair.
+func (r *Result) GlobalBest() (profile.MotifPair, bool) {
+	best := profile.MotifPair{Dist: math.Inf(1)}
+	found := false
+	bestNorm := math.Inf(1)
+	for _, lr := range r.PerLength {
+		for _, p := range lr.Pairs {
+			if nd := p.NormDist(); nd < bestNorm {
+				bestNorm = nd
+				best = p
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// ResultOfLength returns the LengthResult for m, or false.
+func (r *Result) ResultOfLength(m int) (LengthResult, bool) {
+	i := m - r.Cfg.LMin
+	if i < 0 || i >= len(r.PerLength) {
+		return LengthResult{}, false
+	}
+	return r.PerLength[i], true
+}
+
+// Summary aggregates the per-length instrumentation of a run.
+type Summary struct {
+	// Lengths is the number of lengths processed (LMax − LMin + 1).
+	Lengths int
+	// CertifiedAnchors sums anchors certified by the lower bound alone.
+	CertifiedAnchors int
+	// RecomputedAnchors sums anchors individually recomputed with MASS.
+	RecomputedAnchors int
+	// FullRecomputes counts lengths resolved by a whole STOMP pass
+	// (including the mandatory one at ℓmin).
+	FullRecomputes int
+}
+
+// Summary aggregates stats across the whole run.
+func (r *Result) Summary() Summary {
+	s := Summary{Lengths: len(r.PerLength)}
+	for _, lr := range r.PerLength {
+		s.CertifiedAnchors += lr.Stats.Certified
+		s.RecomputedAnchors += lr.Stats.Recomputed
+		if lr.Stats.FullRecompute {
+			s.FullRecomputes++
+		}
+	}
+	return s
+}
+
+// anchorState is the partial distance profile of one anchor.
+type anchorState struct {
+	entries []lb.Entry // retained candidates, at most P
+	base    int32      // length at which entries/q̃ were (re)seeded
+	// nextQ2 is the q̃² of the best candidate NOT retained (the (p+1)-th
+	// largest at seed time): every unkept candidate has q̃² ≤ nextQ2, so
+	// Bound(√nextQ2) lower-bounds all of them — a strictly tighter
+	// certification threshold than bounding via the worst kept entry.
+	// Negative when every candidate was retained (nothing to bound:
+	// maxLB = +Inf).
+	nextQ2 float64
+	// degenerate marks a constant anchor window at the seed length, for
+	// which no lower bound is available (maxLB = 0).
+	degenerate bool
+}
+
+// run carries the mutable state of one VALMOD execution.
+type run struct {
+	t    []float64
+	st   *series.Stats
+	cfg  Config
+	sMin int
+	anch []anchorState
+	vmap *valmap.VALMAP
+
+	// scratch per length
+	dists   []float64 // best retained pair distance per anchor
+	indexes []int
+	maxLBs  []float64
+	cert    []bool
+
+	// hot-row cache: anchors that keep failing certification get their
+	// full dot-product row cached after one FFT; every later length then
+	// resolves them exactly with one O(s) advance-and-scan pass instead of
+	// another FFT. Bounded by hotBudget rows (≈64 MB total).
+	hotRows   map[int][]float64
+	hotL      map[int]int // length each cached row is currently at
+	hotBudget int
+
+	// corr amortizes the series-side FFT across every recompute query.
+	corr *fft.Correlator
+
+	// cached sliding moments of the current working length; invStds[j] is
+	// 1/σ_j (0 for degenerate windows) so the hot loops run division-free
+	momentsL             int
+	means, stds, invStds []float64
+	rowQT                []float64 // scratch dot-product row for run scans
+}
+
+// momentsAt fills the cached sliding mean/σ/1÷σ arrays for length l (O(s)
+// via the cumulative sums, shared by every anchor at that length).
+func (r *run) momentsAt(l int) {
+	if r.momentsL == l {
+		return
+	}
+	s := len(r.t) - l + 1
+	if cap(r.means) < s {
+		r.means = make([]float64, s)
+		r.stds = make([]float64, s)
+		r.invStds = make([]float64, s)
+	}
+	r.means = r.means[:s]
+	r.stds = r.stds[:s]
+	r.invStds = r.invStds[:s]
+	for i := 0; i < s; i++ {
+		mu, sd := r.st.MeanStd(i, l)
+		r.means[i], r.stds[i] = mu, sd
+		if sd > 0 {
+			r.invStds[i] = 1 / sd
+		} else {
+			r.invStds[i] = 0
+		}
+	}
+	r.momentsL = l
+}
+
+// Run executes VALMOD over t and returns the exact per-length top-k motif
+// pairs and the VALMAP.
+func Run(t []float64, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), t, cfg)
+}
+
+// RunContext is Run with cooperative cancellation, checked between lengths
+// (the granularity the benchmark harness's wall-clock budgets need). On
+// cancellation it returns ctx.Err().
+func RunContext(ctx context.Context, t []float64, cfg Config) (*Result, error) {
+	cfg.fill()
+	if err := cfg.validate(len(t)); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	sMin := n - cfg.LMin + 1
+	vm, err := valmap.New(cfg.LMin, cfg.LMax, sMin)
+	if err != nil {
+		return nil, err
+	}
+	hotBudget := hotRowBudgetBytes / (8 * sMin)
+	if hotBudget < 32 {
+		hotBudget = 32
+	}
+	r := &run{
+		t:         t,
+		st:        series.NewStats(t),
+		cfg:       cfg,
+		sMin:      sMin,
+		anch:      make([]anchorState, sMin),
+		vmap:      vm,
+		dists:     make([]float64, sMin),
+		indexes:   make([]int, sMin),
+		maxLBs:    make([]float64, sMin),
+		cert:      make([]bool, sMin),
+		hotRows:   make(map[int][]float64),
+		hotL:      make(map[int]int),
+		hotBudget: hotBudget,
+		corr:      fft.NewCorrelator(t, cfg.LMax),
+	}
+
+	res := &Result{N: n, Cfg: cfg, VMap: vm}
+
+	// Phase 1: exact matrix profile at ℓmin + initial partial profiles.
+	mpMin, err := r.seedAll(cfg.LMin)
+	if err != nil {
+		return nil, err
+	}
+	res.MPMin = mpMin
+	first := LengthResult{M: cfg.LMin, Pairs: mpMin.TopKPairs(cfg.TopK)}
+	first.Stats.FullRecompute = true
+	res.PerLength = append(res.PerLength, first)
+
+	// VALMAP starts as the length-normalized ℓmin profile (flat LP).
+	for i := 0; i < sMin; i++ {
+		if mpMin.Index[i] >= 0 {
+			vm.InitFromProfile(i, series.LengthNormalize(mpMin.Dist[i], cfg.LMin), mpMin.Index[i], cfg.LMin)
+		}
+	}
+	vm.Seal()
+
+	// Phase 2: longer lengths.
+	for l := cfg.LMin + 1; l <= cfg.LMax; l++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		lr, err := r.processLength(l)
+		if err != nil {
+			return nil, err
+		}
+		vm.BeginLength(l)
+		for _, p := range lr.Pairs {
+			nd := p.NormDist()
+			vm.Apply(p.A, nd, p.B, l)
+			vm.Apply(p.B, nd, p.A, l)
+		}
+		vm.EndLength()
+		res.PerLength = append(res.PerLength, lr)
+	}
+	return res, nil
+}
+
+// seedAll computes the exact matrix profile at length l and reseeds every
+// anchor's partial profile with base l. Rows are independent, so the scan
+// is partitioned into contiguous blocks across workers; each block seeds
+// its first row with one FFT and streams the rest via the recurrence.
+// Output is identical at any worker count.
+func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
+	n := len(r.t)
+	s := n - l + 1
+	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
+	mp := profile.New(l, excl, s)
+	if err := stomp.ValidateLength(n, l); err != nil {
+		return nil, err
+	}
+	workers := r.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > s/64 {
+		workers = s / 64 // blocks below ~64 rows don't amortize their FFT
+	}
+	if workers <= 1 {
+		r.processRun(0, s, l, excl, s, mp)
+		return mp, nil
+	}
+	r.momentsAt(l)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * s / workers
+		hi := (w + 1) * s / workers
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			r.processRunWith(lo, hi-lo, l, excl, s, mp,
+				r.corr.Clone(), make([]float64, s))
+		}(lo, hi)
+	}
+	wg.Wait()
+	return mp, nil
+}
+
+// processRun resolves the contiguous anchors [i0, i0+count) exactly at
+// length l: one FFT seeds the dot-product row of i0, each following row
+// costs O(s) via the STOMP recurrence, and a single fused pass per row
+// finds the exact profile minimum (division-free correlation compare) and
+// reseeds the anchor's partial profile. It writes exact values into mp.
+func (r *run) processRun(i0, count, l, excl, s int, mp *profile.MatrixProfile) {
+	r.momentsAt(l)
+	if cap(r.rowQT) < s {
+		r.rowQT = make([]float64, s)
+	}
+	r.processRunWith(i0, count, l, excl, s, mp, r.corr, r.rowQT[:s])
+}
+
+// processRunWith is processRun with caller-owned correlator and row buffer,
+// enabling concurrent block scans. The moment cache must already be at l.
+func (r *run) processRunWith(i0, count, l, excl, s int, mp *profile.MatrixProfile, corr *fft.Correlator, rowBuf []float64) {
+	t := r.t
+	row := corr.Dots(t[i0:i0+l], rowBuf)
+	for i := i0; i < i0+count; i++ {
+		if i > i0 {
+			// Row recurrence, descending j so row[j-1] is still row i−1.
+			tail := t[i+l-1]
+			head := t[i-1]
+			for j := s - 1; j >= 1; j-- {
+				row[j] = row[j-1] + tail*t[j+l-1] - head*t[j-1]
+			}
+			row[0] = series.Dot(t[i:i+l], t[0:l])
+		}
+		r.scanRow(i, l, excl, s, row, mp)
+	}
+}
+
+// scanRow is the fused per-row pass: exact nearest neighbor of anchor i at
+// length l (outside the exclusion zone) plus the partial-profile reseed
+// (top-p candidates by q̃²). The moment cache must be filled for l.
+func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
+	p := r.cfg.P
+	means, invs := r.means, r.invStds
+	fl := float64(l)
+	sumA := r.st.Sum(i, l)
+	muA := means[i]
+	invA := invs[i]
+
+	a := &r.anch[i]
+	if cap(a.entries) < p {
+		a.entries = make([]lb.Entry, 0, p)
+	}
+	a.entries = a.entries[:0]
+	a.base = int32(l)
+
+	// Degenerate anchor: the fused correlation math is undefined; fall back
+	// to the convention-aware scalar path for this (rare) row.
+	if invA == 0 {
+		for j := 0; j < s; j++ {
+			if j > i-excl && j < i+excl {
+				continue
+			}
+			d := series.DistFromDot(row[j], fl, muA, 0, means[j], r.stds[j])
+			mp.Update(i, d, j)
+		}
+		a.degenerate = true
+		a.nextQ2 = -1
+		return
+	}
+	a.degenerate = false
+
+	bestCorr := math.Inf(-1)
+	bestJ := -1
+	heapMinQ2 := math.Inf(-1) // q̃² of the heap root once the heap is full
+	bestRejQ2 := -1.0         // best q̃² among rejected/evicted candidates
+	lo, hi := i-excl, i+excl  // exclusion interval (exclusive bounds)
+	for j := 0; j < s; j++ {
+		if j > lo && j < hi {
+			continue // trivial at this and every longer length
+		}
+		qtj := row[j]
+		q := (qtj - means[j]*sumA) * invs[j] // q̃ (0 for degenerate candidate)
+		q2 := q * q
+		if len(a.entries) < p {
+			a.entries = append(a.entries, lb.Entry{J: int32(j), QT: qtj, QTilde: q})
+			if len(a.entries) == p {
+				heapify(a.entries)
+				q0 := a.entries[0].QTilde
+				heapMinQ2 = q0 * q0
+			}
+		} else if q2 > heapMinQ2 {
+			if heapMinQ2 > bestRejQ2 {
+				bestRejQ2 = heapMinQ2 // evicted root joins the unkept set
+			}
+			a.entries[0] = lb.Entry{J: int32(j), QT: qtj, QTilde: q}
+			siftDown(a.entries, 0)
+			q0 := a.entries[0].QTilde
+			heapMinQ2 = q0 * q0
+		} else if q2 > bestRejQ2 {
+			bestRejQ2 = q2
+		}
+		// Division-free correlation compare; invs[j]=0 (degenerate
+		// candidate) yields corr 0 ⇒ distance √(2l), the convention.
+		corr := (qtj/fl - muA*means[j]) * invA * invs[j]
+		if corr > bestCorr {
+			bestCorr, bestJ = corr, j
+		}
+	}
+	if len(a.entries) > 0 && len(a.entries) < p {
+		heapify(a.entries)
+	}
+	a.nextQ2 = bestRejQ2
+	if bestJ >= 0 {
+		if bestCorr > 1 {
+			bestCorr = 1
+		} else if bestCorr < -1 {
+			bestCorr = -1
+		}
+		mp.Update(i, math.Sqrt(2*fl*(1-bestCorr)), bestJ)
+	}
+}
+
+// heapify orders entries as a min-heap on q̃².
+func heapify(es []lb.Entry) {
+	for i := len(es)/2 - 1; i >= 0; i-- {
+		siftDown(es, i)
+	}
+}
+
+func siftDown(es []lb.Entry, i int) {
+	n := len(es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && es[l].QTilde*es[l].QTilde < es[small].QTilde*es[small].QTilde {
+			small = l
+		}
+		if r < n && es[r].QTilde*es[r].QTilde < es[small].QTilde*es[small].QTilde {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		es[i], es[small] = es[small], es[i]
+	}
+}
+
+// processLength resolves length l exactly, using pruning where possible.
+func (r *run) processLength(l int) (LengthResult, error) {
+	n := len(r.t)
+	s := n - l + 1
+	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
+	lr := LengthResult{M: l}
+
+	if s <= excl {
+		// No non-trivial pair can exist at this length.
+		return lr, nil
+	}
+
+	if r.cfg.DisablePruning {
+		mp, err := r.fullRecompute(l)
+		if err != nil {
+			return lr, err
+		}
+		lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+		lr.Stats.FullRecompute = true
+		return lr, nil
+	}
+
+	fl := float64(l)
+	r.momentsAt(l)
+	for i := 0; i < s; i++ {
+		a := &r.anch[i]
+		r.cert[i] = false
+		r.dists[i] = math.Inf(1)
+		r.indexes[i] = -1
+
+		// Hot anchors resolve exactly with one advance-and-scan pass.
+		if row, ok := r.hotRows[i]; ok {
+			r.advanceAndScanHot(i, l, excl, s, row)
+			continue
+		}
+
+		muA, sdA := r.means[i], r.stds[i]
+		switch {
+		case a.degenerate:
+			// Constant anchor at seed time: no bound exists; always
+			// resolved by recompute when within τ.
+			r.maxLBs[i] = 0
+		case a.nextQ2 < 0:
+			// Every candidate is retained: nothing unseen to bound.
+			r.maxLBs[i] = math.Inf(1)
+		default:
+			terms := lb.NewAnchorTerms(r.st, i, int(a.base), l-int(a.base))
+			r.maxLBs[i] = terms.Bound(math.Sqrt(a.nextQ2))
+		}
+		if a.degenerate {
+			continue
+		}
+
+		minDist := math.Inf(1)
+		minIdx := -1
+		for e := range a.entries {
+			ent := &a.entries[e]
+			j := int(ent.J)
+			if j >= s {
+				continue // candidate no longer long enough
+			}
+			ent.Advance(r.t, i, l)
+			if j > i-excl && j < i+excl {
+				continue // grown exclusion zone swallowed it
+			}
+			d := series.DistFromDot(ent.QT, fl, muA, sdA, r.means[j], r.stds[j])
+			if d < minDist {
+				minDist, minIdx = d, j
+			}
+		}
+		// Record the best retained pair unconditionally: it is a true
+		// distance either way, exact iff certified.
+		r.dists[i] = minDist
+		r.indexes[i] = minIdx
+		if minDist <= r.maxLBs[i] {
+			r.cert[i] = true
+		}
+	}
+
+	// Assemble the candidate profile. Certified anchors contribute their
+	// exact profile value; uncertified anchors contribute minDist — a true
+	// pair distance (upper bound on their profile value), which sharpens τ
+	// and provably never survives into the reported top-k: a chosen
+	// uncertified pair would have minDist ≤ τ, hence maxLB < τ, putting
+	// its anchor into the recompute set below.
+	lmp := profile.New(l, excl, s)
+	certified := 0
+	for i := 0; i < s; i++ {
+		if r.indexes[i] >= 0 {
+			lmp.Dist[i] = r.dists[i]
+			lmp.Index[i] = r.indexes[i]
+		}
+		if r.cert[i] {
+			certified++
+		}
+	}
+	lr.Stats.Certified = certified
+
+	// Recompute-to-fixpoint: extraction with pair de-duplication is not
+	// monotone in its candidate set (a newly recomputed anchor can block
+	// two others and *raise* the k-th best distance τ), so one recompute
+	// pass is not enough — iterate until no non-certified anchor's maxLB
+	// falls at or below the current τ. Each round certifies at least one
+	// new anchor, so the loop terminates.
+	recomputed := 0
+	for {
+		pairs := lmp.TopKPairs(r.cfg.TopK)
+		// τ is the certification threshold: with a full top-k in hand, the
+		// k-th best distance; otherwise +Inf (anything could still improve
+		// the set).
+		tau := math.Inf(1)
+		if len(pairs) == r.cfg.TopK {
+			tau = pairs[len(pairs)-1].Dist
+		}
+		var need []int
+		for i := 0; i < s; i++ {
+			if !r.cert[i] && r.maxLBs[i] <= tau {
+				need = append(need, i)
+			}
+		}
+		if len(need) == 0 {
+			lr.Pairs = pairs
+			lr.Stats.Recomputed = recomputed
+			return lr, nil
+		}
+		if float64(recomputed+len(need)) >= r.cfg.RecomputeFraction*float64(s) {
+			mp, err := r.fullRecompute(l)
+			if err != nil {
+				return lr, err
+			}
+			lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+			lr.Stats.Recomputed = recomputed
+			lr.Stats.FullRecompute = true
+			return lr, nil
+		}
+		// Neighboring anchors fail certification together (their windows
+		// overlap), so contiguous runs are recomputed with one FFT + O(s)
+		// row recurrences and reseeded. Isolated hard anchors instead join
+		// the hot-row cache: one FFT now, O(s) per length afterwards.
+		const runReseedMin = 8
+		var hotPend []int
+		for start := 0; start < len(need); {
+			end := start + 1
+			for end < len(need) && need[end] == need[end-1]+1 {
+				end++
+			}
+			if end-start >= runReseedMin {
+				r.processRun(need[start], end-start, l, excl, s, lmp)
+			} else {
+				hotPend = append(hotPend, need[start:end]...)
+			}
+			for _, i := range need[start:end] {
+				r.cert[i] = true // exact now at this length
+			}
+			start = end
+		}
+		// Isolated hard anchors: resolve two per FFT round trip via the
+		// packed correlator, then cache their rows as hot.
+		for x := 0; x+1 < len(hotPend); x += 2 {
+			i1, i2 := hotPend[x], hotPend[x+1]
+			row1, row2 := r.corr.DotsPair(r.t[i1:i1+l], r.t[i2:i2+l],
+				make([]float64, s), make([]float64, s))
+			r.makeHot(i1, l, excl, s, row1, lmp)
+			r.makeHot(i2, l, excl, s, row2, lmp)
+		}
+		if len(hotPend)%2 == 1 {
+			i := hotPend[len(hotPend)-1]
+			row := r.corr.Dots(r.t[i:i+l], make([]float64, s))
+			r.makeHot(i, l, excl, s, row, lmp)
+		}
+		recomputed += len(need)
+	}
+}
+
+// makeHot resolves anchor i exactly at length l from its freshly computed
+// dot-product row, reseeds its partial profile, and caches the row so every
+// later length costs O(s) instead of an FFT.
+func (r *run) makeHot(i, l, excl, s int, row []float64, lmp *profile.MatrixProfile) {
+	r.scanRow(i, l, excl, s, row, lmp)
+	if _, ok := r.hotRows[i]; !ok && len(r.hotRows) < r.hotBudget {
+		r.hotRows[i] = row
+		r.hotL[i] = l
+	}
+}
+
+// hotRowBudgetBytes bounds the memory the hot-row cache may hold.
+const hotRowBudgetBytes = 64 << 20
+
+// advanceAndScanHot advances anchor i's cached dot-product row to length l
+// (one fused multiply-add per cell per length step) and scans it for the
+// exact profile value — certification without FFT work.
+func (r *run) advanceAndScanHot(i, l, excl, s int, row []float64) {
+	t := r.t
+	fl := float64(l)
+	for cur := r.hotL[i]; cur < l; cur++ {
+		tail := t[i+cur]
+		for j := 0; j < len(t)-cur; j++ {
+			row[j] += tail * t[j+cur]
+		}
+	}
+	r.hotL[i] = l
+
+	means, stds, invs := r.means, r.stds, r.invStds
+	muA, invA := means[i], invs[i]
+	if invA == 0 {
+		best, bestJ := math.Inf(1), -1
+		for j := 0; j < s; j++ {
+			if j > i-excl && j < i+excl {
+				continue
+			}
+			d := series.DistFromDot(row[j], fl, muA, 0, means[j], stds[j])
+			if d < best {
+				best, bestJ = d, j
+			}
+		}
+		r.dists[i], r.indexes[i], r.cert[i] = best, bestJ, true
+		return
+	}
+	bestCorr, bestJ := math.Inf(-1), -1
+	for j := 0; j < s; j++ {
+		if j > i-excl && j < i+excl {
+			continue
+		}
+		corr := (row[j]/fl - muA*means[j]) * invA * invs[j]
+		if corr > bestCorr {
+			bestCorr, bestJ = corr, j
+		}
+	}
+	if bestJ >= 0 {
+		if bestCorr > 1 {
+			bestCorr = 1
+		} else if bestCorr < -1 {
+			bestCorr = -1
+		}
+		r.dists[i] = math.Sqrt(2 * fl * (1 - bestCorr))
+		r.indexes[i] = bestJ
+	}
+	r.cert[i] = true
+}
+
+// fullRecompute runs the STOMP row scan at length l, reseeding every
+// anchor, and returns the exact matrix profile.
+func (r *run) fullRecompute(l int) (*profile.MatrixProfile, error) {
+	return r.seedAll(l)
+}

@@ -1,0 +1,54 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// bluestein computes the DFT of x (any length) via the chirp-z transform:
+// X_k = conj(w_k) * Σ_j x_j w_j * conj(w_{k-j}) with w_j = exp(iπ j²/n),
+// turning the DFT into one convolution of power-of-two length.
+// When inverse is true the sign of the chirp flips (normalization is the
+// caller's responsibility).
+func bluestein(x []complex128, inverse bool) {
+	n := len(x)
+	// Chirp factors w[j] = exp(±iπ j²/n). The exponent is reduced mod 2n
+	// before the trig call: j² overflows float64 precision long before it
+	// overflows int for the series sizes used here.
+	w := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for j := 0; j < n; j++ {
+		// j² mod 2n keeps the angle argument small and exact.
+		jj := (j * j) % (2 * n)
+		w[j] = cmplx.Rect(1, sign*math.Pi*float64(jj)/float64(n))
+	}
+
+	m := NextPowerOfTwo(2*n - 1)
+	a := make([]complex128, m)
+	b := make([]complex128, m)
+	for j := 0; j < n; j++ {
+		a[j] = x[j] * w[j]
+	}
+	// b is the conjugate chirp, laid out for circular convolution:
+	// b[j] = conj(w[j]) for j in (-n, n), with negative indices wrapped.
+	for j := 0; j < n; j++ {
+		c := cmplx.Conj(w[j])
+		b[j] = c
+		if j > 0 {
+			b[m-j] = c
+		}
+	}
+	radix2(a, false)
+	radix2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	radix2(a, true)
+	scale := complex(1/float64(m), 0)
+	for k := 0; k < n; k++ {
+		x[k] = a[k] * scale * w[k]
+	}
+}

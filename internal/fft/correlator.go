@@ -1,0 +1,126 @@
+package fft
+
+// Correlator computes sliding dot products of many queries against one
+// fixed series, amortizing the series-side FFT: the spectrum of the padded
+// series is computed once, after which each query costs one forward and one
+// inverse transform — and DotsPair packs two real queries into a single
+// complex transform each way, bringing the cost to one FFT per query.
+// VALMOD's recompute path issues thousands of such queries per run.
+type Correlator struct {
+	n    int
+	size int
+	ft   []complex128
+	x    []complex128 // scratch
+}
+
+// NewCorrelator prepares a correlator for series t accepting queries up to
+// maxQueryLen points. It panics when t is empty or maxQueryLen < 1.
+func NewCorrelator(t []float64, maxQueryLen int) *Correlator {
+	if len(t) == 0 || maxQueryLen < 1 {
+		panic("fft: NewCorrelator requires a series and maxQueryLen >= 1")
+	}
+	size := NextPowerOfTwo(len(t) + maxQueryLen - 1)
+	c := &Correlator{
+		n:    len(t),
+		size: size,
+		ft:   make([]complex128, size),
+		x:    make([]complex128, size),
+	}
+	for i, v := range t {
+		c.ft[i] = complex(v, 0)
+	}
+	radix2(c.ft, false)
+	return c
+}
+
+// N returns the series length.
+func (c *Correlator) N() int { return c.n }
+
+// Clone returns a correlator sharing the (immutable) series spectrum but
+// owning fresh scratch, so clones can run queries concurrently.
+func (c *Correlator) Clone() *Correlator {
+	return &Correlator{
+		n:    c.n,
+		size: c.size,
+		ft:   c.ft,
+		x:    make([]complex128, c.size),
+	}
+}
+
+// Dots writes dot(q, t[j:j+len(q)]) for every valid j into dst (allocated
+// when too small) and returns it. Returns nil when the query is empty or
+// longer than the series (or the correlator's maxQueryLen).
+func (c *Correlator) Dots(q []float64, dst []float64) []float64 {
+	m := len(q)
+	out := c.n - m + 1
+	if m == 0 || out <= 0 || c.n+m-1 > c.size {
+		return nil
+	}
+	x := c.x
+	for i := range x {
+		x[i] = 0
+	}
+	for i, v := range q {
+		x[m-1-i] = complex(v, 0)
+	}
+	radix2(x, false)
+	for i := range x {
+		x[i] *= c.ft[i]
+	}
+	radix2(x, true)
+	scale := 1 / float64(c.size)
+	if cap(dst) >= out {
+		dst = dst[:out]
+	} else {
+		dst = make([]float64, out)
+	}
+	for j := 0; j < out; j++ {
+		dst[j] = real(x[m-1+j]) * scale
+	}
+	return dst
+}
+
+// DotsPair computes the sliding dot products of two equal-length queries
+// with one forward and one inverse transform total: the reversed queries
+// are packed as real and imaginary parts, and linearity keeps them
+// separated through the pointwise product with the series spectrum.
+// Returns (nil, nil) on invalid input.
+func (c *Correlator) DotsPair(q1, q2 []float64, dst1, dst2 []float64) ([]float64, []float64) {
+	m := len(q1)
+	if m == 0 || len(q2) != m {
+		return nil, nil
+	}
+	out := c.n - m + 1
+	if out <= 0 || c.n+m-1 > c.size {
+		return nil, nil
+	}
+	x := c.x
+	for i := range x {
+		x[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		x[m-1-i] = complex(q1[i], q2[i])
+	}
+	radix2(x, false)
+	for i := range x {
+		x[i] *= c.ft[i]
+	}
+	radix2(x, true)
+	scale := 1 / float64(c.size)
+	if cap(dst1) >= out {
+		dst1 = dst1[:out]
+	} else {
+		dst1 = make([]float64, out)
+	}
+	if cap(dst2) >= out {
+		dst2 = dst2[:out]
+	} else {
+		dst2 = make([]float64, out)
+	}
+	for j := 0; j < out; j++ {
+		v := x[m-1+j]
+		dst1[j] = real(v) * scale
+		dst2[j] = imag(v) * scale
+	}
+	return dst1, dst2
+}

@@ -1,0 +1,90 @@
+package fft
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestCorrelatorDotsMatchesSlidingDotProducts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tt := make([]float64, 500)
+	for i := range tt {
+		tt[i] = rng.NormFloat64()
+	}
+	c := NewCorrelator(tt, 64)
+	for _, m := range []int{1, 7, 32, 64} {
+		q := tt[100 : 100+m]
+		got := c.Dots(q, nil)
+		want := SlidingDotProducts(q, tt)
+		if len(got) != len(want) {
+			t.Fatalf("m=%d: len %d want %d", m, len(got), len(want))
+		}
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-7*(1+math.Abs(want[j])) {
+				t.Fatalf("m=%d j=%d: %g want %g", m, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestCorrelatorDotsPairMatchesSingles(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tt := make([]float64, 400)
+	for i := range tt {
+		tt[i] = rng.NormFloat64() * 3
+	}
+	c := NewCorrelator(tt, 50)
+	q1 := tt[30:75]
+	q2 := tt[200:245]
+	d1, d2 := c.DotsPair(q1, q2, nil, nil)
+	w1 := SlidingDotProducts(q1, tt)
+	w2 := SlidingDotProducts(q2, tt)
+	for j := range w1 {
+		if math.Abs(d1[j]-w1[j]) > 1e-7*(1+math.Abs(w1[j])) {
+			t.Fatalf("pair q1 j=%d: %g want %g", j, d1[j], w1[j])
+		}
+		if math.Abs(d2[j]-w2[j]) > 1e-7*(1+math.Abs(w2[j])) {
+			t.Fatalf("pair q2 j=%d: %g want %g", j, d2[j], w2[j])
+		}
+	}
+}
+
+func TestCorrelatorDstReuse(t *testing.T) {
+	tt := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	c := NewCorrelator(tt, 4)
+	buf := make([]float64, 0, 8)
+	got := c.Dots([]float64{1, 1}, buf)
+	if len(got) != 7 {
+		t.Fatalf("len %d", len(got))
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("expected dst reuse")
+	}
+}
+
+func TestCorrelatorInvalidInputs(t *testing.T) {
+	tt := make([]float64, 20)
+	c := NewCorrelator(tt, 8)
+	if c.Dots(nil, nil) != nil {
+		t.Error("empty query should return nil")
+	}
+	if c.Dots(make([]float64, 30), nil) != nil {
+		t.Error("oversized query should return nil")
+	}
+	if d1, d2 := c.DotsPair(make([]float64, 3), make([]float64, 4), nil, nil); d1 != nil || d2 != nil {
+		t.Error("length mismatch should return nils")
+	}
+	if c.N() != 20 {
+		t.Errorf("N() = %d", c.N())
+	}
+}
+
+func TestNewCorrelatorPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty series")
+		}
+	}()
+	NewCorrelator(nil, 4)
+}

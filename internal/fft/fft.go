@@ -1,0 +1,162 @@
+// Package fft provides fast Fourier transforms over complex128 slices.
+//
+// The package exists because the VALMOD reproduction is stdlib-only and the
+// MASS distance-profile algorithm (internal/mass) needs O(n log n) sliding
+// dot products. Transforms of power-of-two length use an iterative
+// decimation-in-time radix-2 kernel; every other length is handled by
+// Bluestein's chirp-z algorithm, which reduces an arbitrary-length DFT to a
+// power-of-two convolution.
+//
+// All transforms are unnormalized in the forward direction; Inverse divides
+// by the length so that Inverse(Forward(x)) == x.
+package fft
+
+import (
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// IsPowerOfTwo reports whether n is a positive power of two.
+func IsPowerOfTwo(n int) bool {
+	return n > 0 && n&(n-1) == 0
+}
+
+// NextPowerOfTwo returns the smallest power of two >= n. It panics if n <= 0
+// or the result would overflow int.
+func NextPowerOfTwo(n int) int {
+	if n <= 0 {
+		panic("fft: NextPowerOfTwo requires n > 0")
+	}
+	if IsPowerOfTwo(n) {
+		return n
+	}
+	shift := bits.Len(uint(n))
+	if shift >= bits.UintSize-2 {
+		panic("fft: NextPowerOfTwo overflow")
+	}
+	return 1 << shift
+}
+
+// Forward computes the in-place forward DFT of x and returns x.
+// len(x) may be any positive value; zero-length input is returned unchanged.
+func Forward(x []complex128) []complex128 {
+	n := len(x)
+	switch {
+	case n <= 1:
+		return x
+	case IsPowerOfTwo(n):
+		radix2(x, false)
+		return x
+	default:
+		bluestein(x, false)
+		return x
+	}
+}
+
+// Inverse computes the in-place inverse DFT of x (normalized by 1/len(x))
+// and returns x.
+func Inverse(x []complex128) []complex128 {
+	n := len(x)
+	switch {
+	case n <= 1:
+		return x
+	case IsPowerOfTwo(n):
+		radix2(x, true)
+	default:
+		bluestein(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range x {
+		x[i] *= inv
+	}
+	return x
+}
+
+// radix2 runs the iterative Cooley–Tukey decimation-in-time FFT.
+// len(x) must be a power of two. When inverse is true the conjugate
+// twiddles are used (normalization is the caller's responsibility).
+func radix2(x []complex128, inverse bool) {
+	n := len(x)
+	bitReverse(x)
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := x[start+k]
+				odd := x[start+k+half] * w
+				x[start+k] = even + odd
+				x[start+k+half] = even - odd
+				w *= wStep
+			}
+		}
+	}
+}
+
+// bitReverse permutes x into bit-reversed order. len(x) must be a power of two.
+func bitReverse(x []complex128) {
+	n := len(x)
+	shift := bits.UintSize - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+}
+
+// Convolve returns the linear convolution of a and b, of length
+// len(a)+len(b)-1. Either input may have any positive length; empty input
+// yields nil. The inputs are not modified.
+func Convolve(a, b []float64) []float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := NextPowerOfTwo(outLen)
+	fa := make([]complex128, n)
+	fb := make([]complex128, n)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	Forward(fa)
+	Forward(fb)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	Inverse(fa)
+	out := make([]float64, outLen)
+	for i := range out {
+		out[i] = real(fa[i])
+	}
+	return out
+}
+
+// SlidingDotProducts returns, for every offset j in [0, len(t)-len(q)], the
+// dot product of q with t[j:j+len(q)], computed with one FFT convolution.
+// It is the workhorse behind MASS. Returns nil when len(q) == 0 or
+// len(q) > len(t).
+func SlidingDotProducts(q, t []float64) []float64 {
+	m, n := len(q), len(t)
+	if m == 0 || m > n {
+		return nil
+	}
+	// Convolving t with reversed(q) places dot(q, t[j:j+m]) at index j+m-1.
+	qr := make([]float64, m)
+	for i, v := range q {
+		qr[m-1-i] = v
+	}
+	conv := Convolve(t, qr)
+	out := make([]float64, n-m+1)
+	copy(out, conv[m-1:m-1+len(out)])
+	return out
+}

@@ -1,0 +1,142 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/series"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+func TestAllGeneratorsProduceValidSeries(t *testing.T) {
+	n := 3000
+	for _, name := range Names() {
+		s, err := Dataset(name, n, 42)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if s.Len() != n {
+			t.Errorf("%s: length %d, want %d", name, s.Len(), n)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		// Not constant.
+		_, sd := series.MeanStdTwoPass(s.Values)
+		if sd == 0 {
+			t.Errorf("%s: degenerate constant output", name)
+		}
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	for _, name := range Names() {
+		a, _ := Dataset(name, 500, 7)
+		b, _ := Dataset(name, 500, 7)
+		for i := range a.Values {
+			if a.Values[i] != b.Values[i] {
+				t.Fatalf("%s: not deterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := ECG(500, 1)
+	b := ECG(500, 2)
+	same := true
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different ECG series")
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	if _, err := Dataset("nope", 100, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestECGHasRepeatingBeats(t *testing.T) {
+	// An ECG must contain strong motifs at beat scale: the matrix profile
+	// minimum at m=200 should be far below the profile mean.
+	s := ECG(4000, 3)
+	mp, err := stomp.Compute(s.Values, 200, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minD, _ := mp.Min()
+	// The best beat pair must be close in absolute terms: a tiny fraction
+	// of the maximum possible z-normalized distance 2√m.
+	if limit := 0.15 * math.Sqrt(2*200); minD > limit {
+		t.Errorf("ECG beats not motif-like: min=%g, limit=%g", minD, limit)
+	}
+}
+
+func TestSeismicHasQuietFloorAndEvents(t *testing.T) {
+	s := Seismic(8000, 4)
+	// Peak amplitude must dwarf the noise floor.
+	var peak float64
+	for _, v := range s.Values {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if peak < 0.5 {
+		t.Errorf("no seismic events generated: peak %g", peak)
+	}
+}
+
+func TestEPGStateStructure(t *testing.T) {
+	s := EPG(5000, 5)
+	// EPG levels live on distinct plateaus; the series range must span the
+	// baseline (~0.1) to ingestion (~2.1) bands.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range s.Values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if lo > 0.3 || hi < 1.5 {
+		t.Errorf("EPG range [%g, %g] lacks state structure", lo, hi)
+	}
+}
+
+func TestPlantMotifRecoverable(t *testing.T) {
+	s := RandomWalk(3000, 6)
+	offs := PlantMotif(s, 64, 3, 0.01, 7)
+	if len(offs) != 3 {
+		t.Fatalf("planted %d instances", len(offs))
+	}
+	mp, err := stomp.Compute(s.Values, 64, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := mp.TopKPairs(1)
+	if len(pairs) == 0 {
+		t.Fatal("no motif found")
+	}
+	p := pairs[0]
+	hit := func(x int) bool {
+		for _, o := range offs {
+			if abs(x-o) <= 2 {
+				return true
+			}
+		}
+		return false
+	}
+	if !hit(p.A) || !hit(p.B) {
+		t.Errorf("motif %v does not match planted offsets %v", p, offs)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,177 @@
+// Package harness provides the experiment scaffolding that regenerates the
+// paper's evaluation (Figure 3): wall-clock measurement with the paper's
+// timeout semantics ("Time out after 24h"), parameter sweeps, and aligned
+// table rendering so cmd/valmod-experiments prints the same rows/series the
+// paper plots.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Measurement is one timed cell of an experiment table.
+type Measurement struct {
+	Elapsed  time.Duration
+	TimedOut bool
+	Err      error
+}
+
+// String renders the cell the way the paper's plots annotate it.
+func (m Measurement) String() string {
+	switch {
+	case m.Err != nil:
+		return "ERROR"
+	case m.TimedOut:
+		return "TIMEOUT"
+	default:
+		return FormatDuration(m.Elapsed)
+	}
+}
+
+// FormatDuration renders a duration with sensible rounding for tables.
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d >= time.Minute:
+		return d.Round(100 * time.Millisecond).String()
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.String()
+	}
+}
+
+// Timed runs fn under a wall-clock budget. fn must honor ctx cancellation
+// (all suite algorithms do, between lengths); the measurement reports
+// whether the budget expired. budget ≤ 0 means unlimited.
+func Timed(budget time.Duration, fn func(ctx context.Context) error) Measurement {
+	ctx := context.Background()
+	cancel := func() {}
+	if budget > 0 {
+		ctx, cancel = context.WithTimeout(ctx, budget)
+	}
+	defer cancel()
+	start := time.Now()
+	err := fn(ctx)
+	elapsed := time.Since(start)
+	m := Measurement{Elapsed: elapsed}
+	// A run is only a timeout when the budget expired AND the function
+	// aborted because of it; a run that finished late still reports its
+	// true elapsed time.
+	if ctx.Err() != nil && err != nil {
+		m.TimedOut = true
+		return m
+	}
+	m.Err = err
+	return m
+}
+
+// Table accumulates rows of an experiment and renders them aligned.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends one row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "== %s ==\n", t.Title); err != nil {
+			return err
+		}
+	}
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := writeRow(t.Headers); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Sweep enumerates the parameter values of one experiment axis, mirroring
+// the paper's x-axes (length ranges for Figure 3 top, series prefixes for
+// Figure 3 bottom).
+type Sweep struct {
+	// Name labels the axis ("range", "n").
+	Name string
+	// Values are the axis points in presentation order.
+	Values []int
+}
+
+// ScaleAll multiplies every value (used to blow the default laptop-scale
+// sweeps back up toward paper scale with a flag).
+func (s Sweep) ScaleAll(factor int) Sweep {
+	if factor <= 1 {
+		return s
+	}
+	out := Sweep{Name: s.Name, Values: make([]int, len(s.Values))}
+	for i, v := range s.Values {
+		out.Values[i] = v * factor
+	}
+	return out
+}
+
+// Fig3TopRanges is the laptop-scale analogue of the paper's length-range
+// axis {100, 150, 200, 400, 600} (at ℓmin=1024, n=0.5M).
+func Fig3TopRanges() Sweep { return Sweep{Name: "range", Values: []int{10, 20, 50, 100, 200}} }
+
+// Fig3BottomSizes is the laptop-scale analogue of the paper's series-length
+// axis {0.1M, 0.2M, 0.5M, 0.8M, 1M}.
+func Fig3BottomSizes() Sweep {
+	return Sweep{Name: "n", Values: []int{10000, 20000, 50000, 80000, 100000}}
+}

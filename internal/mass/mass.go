@@ -1,0 +1,87 @@
+// Package mass implements MASS (Mueen's Algorithm for Similarity Search),
+// the O(n log n) computation of the z-normalized Euclidean distance profile
+// of a query against every subsequence of a data series. VALMOD uses it to
+// recompute individual distance profiles when the lower-bound pruning cannot
+// certify an anchor (demo §2: "we recompute only the distance profiles which
+// have the maxLB smaller than the smallest mindist found").
+package mass
+
+import (
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+// DistanceProfile returns d[j] = zdist(q, t[j:j+len(q)]) for every valid j.
+// Returns nil when len(q) == 0 or len(q) > len(t).
+func DistanceProfile(q, t []float64) []float64 {
+	m := len(q)
+	if m == 0 || m > len(t) {
+		return nil
+	}
+	qt := fft.SlidingDotProducts(q, t)
+	muQ, sdQ := series.MeanStdTwoPass(q)
+	means, stds := series.SlidingMeanStd(t, m)
+	out := make([]float64, len(qt))
+	fm := float64(m)
+	for j := range qt {
+		out[j] = series.DistFromDot(qt[j], fm, muQ, sdQ, means[j], stds[j])
+	}
+	return out
+}
+
+// DistanceProfilePrecomputed is DistanceProfile with the series-side sliding
+// statistics already available (the VALMOD inner loop computes one profile
+// per anchor at a fixed length, so means/stds are shared across calls).
+// st must be the Stats of t, and means/stds the sliding moments of t at
+// window m. The returned slice is written into dst when cap(dst) suffices.
+func DistanceProfilePrecomputed(q, t []float64, means, stds []float64, dst []float64) []float64 {
+	m := len(q)
+	if m == 0 || m > len(t) {
+		return nil
+	}
+	qt := fft.SlidingDotProducts(q, t)
+	muQ, sdQ := series.MeanStdTwoPass(q)
+	if cap(dst) >= len(qt) {
+		dst = dst[:len(qt)]
+	} else {
+		dst = make([]float64, len(qt))
+	}
+	fm := float64(m)
+	for j := range qt {
+		dst[j] = series.DistFromDot(qt[j], fm, muQ, sdQ, means[j], stds[j])
+	}
+	return dst
+}
+
+// SlidingDotProfile returns the raw sliding dot products of q against t,
+// alongside the distance profile. VALMOD stores the dot products of kept
+// entries so they can be extended in O(1) per length.
+func SlidingDotProfile(q, t []float64) (qt, dist []float64) {
+	m := len(q)
+	if m == 0 || m > len(t) {
+		return nil, nil
+	}
+	qt = fft.SlidingDotProducts(q, t)
+	muQ, sdQ := series.MeanStdTwoPass(q)
+	means, stds := series.SlidingMeanStd(t, m)
+	dist = make([]float64, len(qt))
+	fm := float64(m)
+	for j := range qt {
+		dist[j] = series.DistFromDot(qt[j], fm, muQ, sdQ, means[j], stds[j])
+	}
+	return qt, dist
+}
+
+// BruteDistanceProfile is the O(n·m) reference implementation used in tests
+// and in the MASS-vs-naive ablation benchmark.
+func BruteDistanceProfile(q, t []float64) []float64 {
+	m := len(q)
+	if m == 0 || m > len(t) {
+		return nil
+	}
+	out := make([]float64, len(t)-m+1)
+	for j := range out {
+		out[j] = series.ZNormDist(q, t[j:j+m])
+	}
+	return out
+}

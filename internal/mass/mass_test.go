@@ -1,0 +1,162 @@
+package mass
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+func randSlice(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()*5 + 2
+	}
+	return x
+}
+
+func TestDistanceProfileMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ m, n int }{{2, 10}, {8, 64}, {16, 100}, {50, 500}, {100, 100}} {
+		q := randSlice(rng, c.m)
+		tt := randSlice(rng, c.n)
+		got := DistanceProfile(q, tt)
+		want := BruteDistanceProfile(q, tt)
+		if len(got) != len(want) {
+			t.Fatalf("m=%d n=%d: len %d want %d", c.m, c.n, len(got), len(want))
+		}
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-7*(1+want[j]) {
+				t.Errorf("m=%d n=%d j=%d: %g want %g", c.m, c.n, j, got[j], want[j])
+				break
+			}
+		}
+	}
+}
+
+func TestDistanceProfileProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(200) + 10
+		m := rng.Intn(n-1) + 2
+		if m > n {
+			m = n
+		}
+		q := randSlice(rng, m)
+		tt := randSlice(rng, n)
+		got := DistanceProfile(q, tt)
+		want := BruteDistanceProfile(q, tt)
+		for j := range got {
+			if math.Abs(got[j]-want[j]) > 1e-6*(1+want[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDistanceProfileSelfMatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tt := randSlice(rng, 200)
+	m := 20
+	q := tt[37 : 37+m]
+	d := DistanceProfile(q, tt)
+	if d[37] > 1e-6 {
+		t.Errorf("self match distance %g, want ~0", d[37])
+	}
+}
+
+func TestDistanceProfileDegenerate(t *testing.T) {
+	if DistanceProfile(nil, []float64{1, 2}) != nil {
+		t.Error("empty query should return nil")
+	}
+	if DistanceProfile([]float64{1, 2, 3}, []float64{1, 2}) != nil {
+		t.Error("long query should return nil")
+	}
+}
+
+func TestDistanceProfileConstantRegions(t *testing.T) {
+	// Series with a flat region: distances against the flat windows must
+	// follow the √(2m) convention, never NaN.
+	tt := make([]float64, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		tt[i] = rng.NormFloat64()
+	}
+	for i := 50; i < 100; i++ {
+		tt[i] = 4.2
+	}
+	m := 10
+	q := tt[0:m]
+	d := DistanceProfile(q, tt)
+	for j, v := range d {
+		if math.IsNaN(v) {
+			t.Fatalf("NaN at %d", j)
+		}
+	}
+	want := math.Sqrt(2 * float64(m))
+	if math.Abs(d[70]-want) > 1e-9 {
+		t.Errorf("flat-window distance %g, want %g", d[70], want)
+	}
+}
+
+func TestSlidingDotProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tt := randSlice(rng, 150)
+	m := 12
+	q := tt[5 : 5+m]
+	qt, dist := SlidingDotProfile(q, tt)
+	if len(qt) != len(dist) || len(qt) != len(tt)-m+1 {
+		t.Fatalf("lengths: qt=%d dist=%d", len(qt), len(dist))
+	}
+	for j := 0; j < len(qt); j += 13 {
+		if want := series.Dot(q, tt[j:j+m]); math.Abs(qt[j]-want) > 1e-7*(1+math.Abs(want)) {
+			t.Errorf("qt[%d] = %g want %g", j, qt[j], want)
+		}
+	}
+}
+
+func TestDistanceProfilePrecomputedMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tt := randSlice(rng, 300)
+	m := 25
+	means, stds := series.SlidingMeanStd(tt, m)
+	q := tt[100 : 100+m]
+	want := DistanceProfile(q, tt)
+	buf := make([]float64, 0, len(want))
+	got := DistanceProfilePrecomputed(q, tt, means, stds, buf)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-12 {
+			t.Fatalf("j=%d: %g want %g", j, got[j], want[j])
+		}
+	}
+	// Reuses the provided buffer when capacity allows.
+	if cap(buf) > 0 && len(got) > 0 && &got[0] != &buf[:1][0] {
+		t.Error("expected dst buffer reuse")
+	}
+}
+
+func BenchmarkMASS(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	tt := randSlice(rng, 1<<14)
+	q := tt[100:356]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DistanceProfile(q, tt)
+	}
+}
+
+func BenchmarkBruteProfile(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	tt := randSlice(rng, 1<<12)
+	q := tt[100:356]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BruteDistanceProfile(q, tt)
+	}
+}

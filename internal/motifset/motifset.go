@@ -1,0 +1,122 @@
+// Package motifset expands a motif pair into its motif set: every
+// subsequence of the series within a radius of either pair member (demo §3,
+// third bullet: "expand a selected motif pair to the relative Motif Set,
+// containing all the similar subsequences of the pair in the data").
+package motifset
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/seriesmining/valmod/internal/mass"
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+// DefaultRadiusFactor multiplies the pair distance to form the default
+// expansion radius, the usual "2d" rule for range motifs.
+const DefaultRadiusFactor = 2.0
+
+// ErrBadPair is returned when the pair does not fit the series.
+var ErrBadPair = errors.New("motifset: pair out of range")
+
+// Member is one subsequence of a motif set with its distance to the closest
+// pair member (0 for the pair members themselves).
+type Member struct {
+	I    int
+	Dist float64
+}
+
+// MotifSet is a pair expanded to all its occurrences.
+type MotifSet struct {
+	Pair    profile.MotifPair
+	Radius  float64
+	Members []Member // ascending distance; the two pair members come first
+}
+
+// Radius returns the default expansion radius for a pair: factor×dist with
+// a small floor so that near-identical pairs (d≈0) still capture exact
+// repeats.
+func Radius(p profile.MotifPair, factor float64) float64 {
+	if factor <= 0 {
+		factor = DefaultRadiusFactor
+	}
+	r := factor * p.Dist
+	floor := 0.02 * math.Sqrt(2*float64(p.M))
+	if r < floor {
+		r = floor
+	}
+	return r
+}
+
+// Expand returns the motif set of pair within radius (≤ 0 selects
+// Radius(pair, DefaultRadiusFactor)), de-duplicating occurrences with the
+// exclusion zone ⌈m/exclFactor⌉. Occurrences are found with two MASS
+// distance profiles (one per pair member) and admitted by their distance to
+// the closer member.
+func Expand(t []float64, pair profile.MotifPair, radius float64, exclFactor int) (*MotifSet, error) {
+	m := pair.M
+	if m < 2 || pair.A < 0 || pair.B < 0 || pair.A+m > len(t) || pair.B+m > len(t) {
+		return nil, ErrBadPair
+	}
+	if radius <= 0 {
+		radius = Radius(pair, DefaultRadiusFactor)
+	}
+	excl := profile.ExclusionZone(m, exclFactor)
+	dA := mass.DistanceProfile(t[pair.A:pair.A+m], t)
+	dB := mass.DistanceProfile(t[pair.B:pair.B+m], t)
+
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, 0, 16)
+	for j := range dA {
+		d := math.Min(dA[j], dB[j])
+		if d <= radius {
+			cands = append(cands, cand{j, d})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+
+	set := &MotifSet{Pair: pair, Radius: radius}
+	var used []int
+	for _, c := range cands {
+		ok := true
+		for _, u := range used {
+			if abs(c.i-u) < excl {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			set.Members = append(set.Members, Member{I: c.i, Dist: c.d})
+			used = append(used, c.i)
+		}
+	}
+	return set, nil
+}
+
+// Size returns the number of occurrences (including the pair members).
+func (s *MotifSet) Size() int { return len(s.Members) }
+
+// Offsets returns the member offsets in ascending distance order.
+func (s *MotifSet) Offsets() []int {
+	out := make([]int, len(s.Members))
+	for i, m := range s.Members {
+		out[i] = m.I
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,126 @@
+package motifset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+// plantedSeries embeds reps copies of a sine pattern of length m into noise,
+// spaced far apart, returning the series and the planted offsets.
+func plantedSeries(rng *rand.Rand, n, m, reps int) ([]float64, []int) {
+	x := make([]float64, n)
+	v := 0.0
+	for i := range x {
+		v += rng.NormFloat64()
+		x[i] = v
+	}
+	offsets := make([]int, reps)
+	gap := n / (reps + 1)
+	for r := 0; r < reps; r++ {
+		off := gap * (r + 1)
+		offsets[r] = off
+		for i := 0; i < m; i++ {
+			x[off+i] = math.Sin(float64(i)*0.35)*12 + rng.NormFloat64()*0.02
+		}
+	}
+	return x, offsets
+}
+
+func TestExpandFindsAllOccurrences(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x, offs := plantedSeries(rng, 1200, 40, 4)
+	pair := profile.MotifPair{A: offs[0], B: offs[1], M: 40, Dist: 0.3}
+	set, err := Expand(x, pair, 2.0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Size() < 4 {
+		t.Fatalf("found %d members, want >= 4 (%v)", set.Size(), set.Offsets())
+	}
+	for _, want := range offs {
+		found := false
+		for _, got := range set.Offsets() {
+			if abs(got-want) <= 2 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("occurrence at %d not found; members %v", want, set.Offsets())
+		}
+	}
+}
+
+func TestExpandMembersSortedAndDeduped(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x, offs := plantedSeries(rng, 800, 32, 3)
+	pair := profile.MotifPair{A: offs[0], B: offs[1], M: 32, Dist: 0.3}
+	set, err := Expand(x, pair, 0, 0) // default radius
+	if err != nil {
+		t.Fatal(err)
+	}
+	excl := profile.ExclusionZone(32, 0)
+	for i := 1; i < set.Size(); i++ {
+		if set.Members[i].Dist < set.Members[i-1].Dist {
+			t.Fatal("members not sorted by distance")
+		}
+	}
+	for i := 0; i < set.Size(); i++ {
+		for j := i + 1; j < set.Size(); j++ {
+			if abs(set.Members[i].I-set.Members[j].I) < excl {
+				t.Fatalf("members %d and %d within exclusion zone", set.Members[i].I, set.Members[j].I)
+			}
+		}
+	}
+	// Pair members themselves (distance 0 to self) must be present.
+	found := 0
+	for _, m := range set.Offsets() {
+		if m == pair.A || m == pair.B {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Errorf("pair members missing from set: %v", set.Offsets())
+	}
+}
+
+func TestExpandRadiusLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x, offs := plantedSeries(rng, 800, 32, 3)
+	pair := profile.MotifPair{A: offs[0], B: offs[1], M: 32, Dist: 0.3}
+	// A tiny radius keeps only the pair itself.
+	set, err := Expand(x, pair, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Size() > 2 {
+		t.Errorf("tiny radius admitted %d members", set.Size())
+	}
+}
+
+func TestExpandValidation(t *testing.T) {
+	x := make([]float64, 100)
+	if _, err := Expand(x, profile.MotifPair{A: 0, B: 90, M: 20}, 1, 0); err == nil {
+		t.Error("B+M beyond series should fail")
+	}
+	if _, err := Expand(x, profile.MotifPair{A: -1, B: 10, M: 20}, 1, 0); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := Expand(x, profile.MotifPair{A: 0, B: 10, M: 1}, 1, 0); err == nil {
+		t.Error("m=1 should fail")
+	}
+}
+
+func TestRadiusFloor(t *testing.T) {
+	p := profile.MotifPair{A: 0, B: 10, M: 50, Dist: 0}
+	if r := Radius(p, 2); r <= 0 {
+		t.Errorf("zero-distance pair must still get a positive radius, got %g", r)
+	}
+	p.Dist = 3
+	if r := Radius(p, 2); math.Abs(r-6) > 1e-12 {
+		t.Errorf("Radius = %g, want 6", r)
+	}
+}

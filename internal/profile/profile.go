@@ -1,0 +1,208 @@
+// Package profile defines the matrix-profile data structures shared by
+// STOMP, VALMOD and the baselines: the MatrixProfile itself (distance +
+// index profile, demo Figure 1 a–c), exclusion zones for trivial matches,
+// top-k motif-pair extraction and discord extraction.
+package profile
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultExclusionFactor is the denominator of the trivial-match exclusion
+// zone: offsets closer than ⌈m/4⌉ are never matched, the Matrix Profile I
+// convention.
+const DefaultExclusionFactor = 4
+
+// ExclusionZone returns the trivial-match radius for subsequence length m:
+// ⌈m/factor⌉, at least 1. A non-positive factor selects the default.
+func ExclusionZone(m, factor int) int {
+	if factor <= 0 {
+		factor = DefaultExclusionFactor
+	}
+	z := (m + factor - 1) / factor
+	if z < 1 {
+		z = 1
+	}
+	return z
+}
+
+// MatrixProfile is the classic meta data series: for every subsequence
+// offset, the z-normalized distance to its nearest non-trivial neighbor and
+// that neighbor's offset.
+type MatrixProfile struct {
+	// M is the subsequence length the profile was computed at.
+	M int
+	// Exclusion is the trivial-match radius used.
+	Exclusion int
+	// Dist[i] is the distance from subsequence i to its nearest neighbor.
+	Dist []float64
+	// Index[i] is the offset of that nearest neighbor (-1 when none exists,
+	// e.g. the series is too short to have any non-trivial pair).
+	Index []int
+}
+
+// New returns a MatrixProfile with n slots initialized to +Inf / -1.
+func New(m, exclusion, n int) *MatrixProfile {
+	mp := &MatrixProfile{
+		M:         m,
+		Exclusion: exclusion,
+		Dist:      make([]float64, n),
+		Index:     make([]int, n),
+	}
+	for i := range mp.Dist {
+		mp.Dist[i] = math.Inf(1)
+		mp.Index[i] = -1
+	}
+	return mp
+}
+
+// Len returns the number of profile entries.
+func (mp *MatrixProfile) Len() int { return len(mp.Dist) }
+
+// Update lowers entry i to (d, j) when d improves on the current value.
+func (mp *MatrixProfile) Update(i int, d float64, j int) {
+	if d < mp.Dist[i] {
+		mp.Dist[i] = d
+		mp.Index[i] = j
+	}
+}
+
+// Min returns the smallest profile value and its offset; (+Inf, -1) when the
+// profile is empty or nothing was ever updated.
+func (mp *MatrixProfile) Min() (d float64, i int) {
+	d, i = math.Inf(1), -1
+	for k, v := range mp.Dist {
+		if v < d {
+			d, i = v, k
+		}
+	}
+	return d, i
+}
+
+// MotifPair is a pair of subsequences and their distance. By the paper's
+// convention A is the left (smaller-offset) subsequence and B its best
+// match.
+type MotifPair struct {
+	A, B int     // subsequence offsets, A < B
+	M    int     // subsequence length
+	Dist float64 // z-normalized Euclidean distance
+}
+
+// NormDist returns the length-normalized distance d·√(1/m) used to rank
+// motif pairs of different lengths.
+func (p MotifPair) NormDist() float64 {
+	return p.Dist * math.Sqrt(1/float64(p.M))
+}
+
+func (p MotifPair) String() string {
+	return fmt.Sprintf("motif{A=%d B=%d m=%d d=%.4f}", p.A, p.B, p.M, p.Dist)
+}
+
+// TopKPairs extracts the k best non-overlapping motif pairs from the
+// profile. Pairs are emitted in ascending distance order; once a pair is
+// chosen, any candidate whose either endpoint lies within the exclusion zone
+// of an already-chosen endpoint is skipped, the standard de-duplication that
+// stops one deep valley from occupying all k slots.
+func (mp *MatrixProfile) TopKPairs(k int) []MotifPair {
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, 0, len(mp.Dist))
+	for i, d := range mp.Dist {
+		if mp.Index[i] >= 0 && !math.IsInf(d, 1) {
+			cands = append(cands, cand{i, d})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+	var out []MotifPair
+	used := make([]int, 0, 2*k)
+	zone := mp.Exclusion
+	tooClose := func(x int) bool {
+		for _, u := range used {
+			if abs(x-u) < zone {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range cands {
+		if len(out) >= k {
+			break
+		}
+		a, b := c.i, mp.Index[c.i]
+		if a > b {
+			a, b = b, a
+		}
+		if tooClose(a) || tooClose(b) {
+			continue
+		}
+		out = append(out, MotifPair{A: a, B: b, M: mp.M, Dist: c.d})
+		used = append(used, a, b)
+	}
+	return out
+}
+
+// Discord holds a discord (anomaly) candidate: the subsequence whose
+// nearest-neighbor distance is largest.
+type Discord struct {
+	I    int
+	Dist float64
+}
+
+// TopKDiscords returns the k subsequences with the largest nearest-neighbor
+// distances, de-duplicated by the exclusion zone. Matrix profiles give
+// discords for free (Matrix Profile I), and the suite exposes them because
+// the demo positions VALMAP as a general analysis surface.
+func (mp *MatrixProfile) TopKDiscords(k int) []Discord {
+	type cand struct {
+		i int
+		d float64
+	}
+	cands := make([]cand, 0, len(mp.Dist))
+	for i, d := range mp.Dist {
+		if mp.Index[i] >= 0 && !math.IsInf(d, 1) {
+			cands = append(cands, cand{i, d})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d > cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+	var out []Discord
+	used := make([]int, 0, k)
+	for _, c := range cands {
+		if len(out) >= k {
+			break
+		}
+		skip := false
+		for _, u := range used {
+			if abs(c.i-u) < mp.Exclusion {
+				skip = true
+				break
+			}
+		}
+		if skip {
+			continue
+		}
+		out = append(out, Discord{I: c.i, Dist: c.d})
+		used = append(used, c.i)
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

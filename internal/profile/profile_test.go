@@ -1,0 +1,123 @@
+package profile
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExclusionZone(t *testing.T) {
+	cases := []struct{ m, factor, want int }{
+		{100, 4, 25}, {101, 4, 26}, {100, 2, 50}, {100, 0, 25}, {2, 4, 1}, {1, 4, 1},
+	}
+	for _, c := range cases {
+		if got := ExclusionZone(c.m, c.factor); got != c.want {
+			t.Errorf("ExclusionZone(%d,%d) = %d, want %d", c.m, c.factor, got, c.want)
+		}
+	}
+}
+
+func TestNewInitializesToInf(t *testing.T) {
+	mp := New(10, 3, 5)
+	for i := 0; i < 5; i++ {
+		if !math.IsInf(mp.Dist[i], 1) || mp.Index[i] != -1 {
+			t.Fatalf("slot %d not initialized: %g %d", i, mp.Dist[i], mp.Index[i])
+		}
+	}
+	if mp.Len() != 5 {
+		t.Errorf("Len() = %d", mp.Len())
+	}
+}
+
+func TestUpdateKeepsMinimum(t *testing.T) {
+	mp := New(10, 3, 2)
+	mp.Update(0, 5, 9)
+	mp.Update(0, 7, 3) // worse: ignored
+	mp.Update(0, 2, 4) // better: kept
+	if mp.Dist[0] != 2 || mp.Index[0] != 4 {
+		t.Errorf("got (%g,%d), want (2,4)", mp.Dist[0], mp.Index[0])
+	}
+}
+
+func TestMin(t *testing.T) {
+	mp := New(10, 3, 3)
+	if d, i := mp.Min(); !math.IsInf(d, 1) || i != -1 {
+		t.Errorf("empty Min() = (%g,%d)", d, i)
+	}
+	mp.Update(0, 5, 2)
+	mp.Update(1, 1, 2)
+	mp.Update(2, 3, 0)
+	if d, i := mp.Min(); d != 1 || i != 1 {
+		t.Errorf("Min() = (%g,%d), want (1,1)", d, i)
+	}
+}
+
+func TestTopKPairsOrderingAndDedup(t *testing.T) {
+	// Profile over 20 subsequences; two valleys, the deeper one at 3↔15.
+	mp := New(8, 2, 20)
+	mp.Update(3, 0.5, 15)
+	mp.Update(15, 0.5, 3)
+	mp.Update(4, 0.6, 16) // within zone of 3 and 15: must be deduped
+	mp.Update(10, 1.0, 0)
+	mp.Update(0, 1.0, 10)
+	pairs := mp.TopKPairs(3)
+	if len(pairs) != 2 {
+		t.Fatalf("got %d pairs: %v", len(pairs), pairs)
+	}
+	if pairs[0].A != 3 || pairs[0].B != 15 || pairs[0].Dist != 0.5 {
+		t.Errorf("pair 0 = %v", pairs[0])
+	}
+	if pairs[1].A != 0 || pairs[1].B != 10 {
+		t.Errorf("pair 1 = %v", pairs[1])
+	}
+	if pairs[0].M != 8 {
+		t.Errorf("pair length = %d, want 8", pairs[0].M)
+	}
+}
+
+func TestTopKPairsAOrder(t *testing.T) {
+	mp := New(4, 1, 10)
+	mp.Update(7, 0.3, 1) // stored with i > index: must emit A=1, B=7
+	pairs := mp.TopKPairs(1)
+	if len(pairs) != 1 || pairs[0].A != 1 || pairs[0].B != 7 {
+		t.Fatalf("pairs = %v", pairs)
+	}
+}
+
+func TestTopKPairsEmptyProfile(t *testing.T) {
+	mp := New(4, 1, 10)
+	if pairs := mp.TopKPairs(5); len(pairs) != 0 {
+		t.Errorf("expected no pairs, got %v", pairs)
+	}
+}
+
+func TestNormDistFavorsLonger(t *testing.T) {
+	short := MotifPair{A: 0, B: 10, M: 50, Dist: 10}
+	long := MotifPair{A: 0, B: 10, M: 400, Dist: 10}
+	if long.NormDist() >= short.NormDist() {
+		t.Errorf("norm dist should favor longer: %g vs %g", long.NormDist(), short.NormDist())
+	}
+}
+
+func TestTopKDiscords(t *testing.T) {
+	mp := New(8, 3, 12)
+	for i := 0; i < 12; i++ {
+		mp.Update(i, 1.0, (i+6)%12)
+	}
+	mp.Dist[5], mp.Index[5] = 9.0, 11 // biggest NN distance → top discord
+	mp.Dist[6] = 8.5                  // within zone of 5: deduped
+	mp.Dist[0] = 7.0                  // second discord
+	ds := mp.TopKDiscords(2)
+	if len(ds) != 2 || ds[0].I != 5 || ds[1].I != 0 {
+		t.Fatalf("discords = %v", ds)
+	}
+	if ds[0].Dist != 9.0 {
+		t.Errorf("discord dist = %g", ds[0].Dist)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	p := MotifPair{A: 1, B: 2, M: 3, Dist: 0.12345}
+	if got := p.String(); got != "motif{A=1 B=2 m=3 d=0.1235}" {
+		t.Errorf("String() = %q", got)
+	}
+}

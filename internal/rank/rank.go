@@ -1,0 +1,87 @@
+// Package rank orders motif pairs of different lengths with the paper's
+// length-normalized distance (demo §"Rank Motif Pairs of Variable Lengths"):
+// the Euclidean distance scaled by √(1/ℓ), which favors longer patterns at
+// equal per-point similarity.
+package rank
+
+import (
+	"sort"
+
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+// DefaultOverlap is the interval-overlap fraction above which two
+// variable-length pairs are considered the same discovery.
+const DefaultOverlap = 0.5
+
+// ByNormDist sorts pairs by ascending length-normalized distance, breaking
+// ties by longer length first (the paper's preference), then offset. The
+// input is not modified.
+func ByNormDist(pairs []profile.MotifPair) []profile.MotifPair {
+	out := append([]profile.MotifPair(nil), pairs...)
+	sort.Slice(out, func(a, b int) bool {
+		na, nb := out[a].NormDist(), out[b].NormDist()
+		if na != nb {
+			return na < nb
+		}
+		if out[a].M != out[b].M {
+			return out[a].M > out[b].M
+		}
+		if out[a].A != out[b].A {
+			return out[a].A < out[b].A
+		}
+		return out[a].B < out[b].B
+	})
+	return out
+}
+
+// overlapFrac returns the overlap between intervals [a, a+la) and [b, b+lb)
+// as a fraction of the shorter interval.
+func overlapFrac(a, la, b, lb int) float64 {
+	lo := max(a, b)
+	hi := min(a+la, b+lb)
+	if hi <= lo {
+		return 0
+	}
+	shorter := min(la, lb)
+	return float64(hi-lo) / float64(shorter)
+}
+
+// samePair reports whether two pairs describe the same discovery: both
+// intervals overlap their counterparts by more than frac (in either
+// pairing order).
+func samePair(p, q profile.MotifPair, frac float64) bool {
+	direct := overlapFrac(p.A, p.M, q.A, q.M) > frac && overlapFrac(p.B, p.M, q.B, q.M) > frac
+	crossed := overlapFrac(p.A, p.M, q.B, q.M) > frac && overlapFrac(p.B, p.M, q.A, q.M) > frac
+	return direct || crossed
+}
+
+// TopK returns the k best pairs under the length-normalized distance,
+// de-duplicated across lengths: once a pair is chosen, later pairs whose
+// intervals overlap it by more than overlap (fraction of the shorter
+// interval; ≤ 0 selects DefaultOverlap) are folded into the same discovery
+// and skipped. This is the ranking the VALMAP view presents ("all the top-k
+// motifs of variable length", demo §3).
+func TopK(pairs []profile.MotifPair, k int, overlap float64) []profile.MotifPair {
+	if overlap <= 0 {
+		overlap = DefaultOverlap
+	}
+	sorted := ByNormDist(pairs)
+	var out []profile.MotifPair
+	for _, p := range sorted {
+		if len(out) >= k {
+			break
+		}
+		dup := false
+		for _, chosen := range out {
+			if samePair(p, chosen, overlap) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package rank
+
+import (
+	"math"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+func mp(a, b, m int, d float64) profile.MotifPair {
+	return profile.MotifPair{A: a, B: b, M: m, Dist: d}
+}
+
+func TestByNormDistOrders(t *testing.T) {
+	pairs := []profile.MotifPair{
+		mp(0, 100, 50, 10),  // norm = 10/√50 ≈ 1.414
+		mp(5, 200, 400, 10), // norm = 10/√400 = 0.5 → first
+		mp(9, 300, 100, 25), // norm = 2.5 → last
+	}
+	got := ByNormDist(pairs)
+	if got[0].M != 400 || got[1].M != 50 || got[2].M != 100 {
+		t.Fatalf("order = %v", got)
+	}
+	// Input untouched.
+	if pairs[0].M != 50 {
+		t.Error("ByNormDist must not modify its input")
+	}
+}
+
+func TestByNormDistTieBreakLongerFirst(t *testing.T) {
+	// Same normalized distance: d/√m equal → longer length first.
+	pairs := []profile.MotifPair{
+		mp(0, 50, 100, 10), // 10/10 = 1
+		mp(1, 60, 400, 20), // 20/20 = 1
+	}
+	got := ByNormDist(pairs)
+	if got[0].M != 400 {
+		t.Fatalf("tie should prefer longer: %v", got)
+	}
+}
+
+func TestTopKDedupAcrossLengths(t *testing.T) {
+	// Three reports of the same discovery at nearby lengths + one distinct.
+	pairs := []profile.MotifPair{
+		mp(100, 500, 60, 1.0),
+		mp(98, 498, 64, 1.02),  // same event, slightly longer
+		mp(102, 502, 56, 1.05), // same event, slightly shorter
+		mp(800, 900, 60, 3.0),  // different event
+	}
+	got := TopK(pairs, 5, 0)
+	if len(got) != 2 {
+		t.Fatalf("want 2 distinct discoveries, got %v", got)
+	}
+	if got[0].A != 98 && got[0].A != 100 && got[0].A != 102 {
+		t.Errorf("first discovery = %v", got[0])
+	}
+	if got[1].A != 800 {
+		t.Errorf("second discovery = %v", got[1])
+	}
+}
+
+func TestTopKCrossedPairDedup(t *testing.T) {
+	// Same discovery with endpoints swapped roles must dedup too.
+	pairs := []profile.MotifPair{
+		mp(100, 500, 60, 1.0),
+		mp(500, 100, 60, 1.1), // illegal ordering normally, but dedup must hold
+	}
+	got := TopK(pairs, 5, 0)
+	if len(got) != 1 {
+		t.Fatalf("crossed duplicate not folded: %v", got)
+	}
+}
+
+func TestTopKRespectsK(t *testing.T) {
+	var pairs []profile.MotifPair
+	for i := 0; i < 10; i++ {
+		pairs = append(pairs, mp(i*300, i*300+150, 50, float64(i)))
+	}
+	got := TopK(pairs, 3, 0)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].NormDist() < got[i-1].NormDist() {
+			t.Error("output not sorted")
+		}
+	}
+}
+
+func TestTopKNonOverlappingKept(t *testing.T) {
+	// 40% overlap is below the default 50% threshold → both kept.
+	pairs := []profile.MotifPair{
+		mp(100, 500, 100, 1.0),
+		mp(160, 560, 100, 1.2),
+	}
+	got := TopK(pairs, 5, 0)
+	if len(got) != 2 {
+		t.Fatalf("40%% overlap should not dedup: %v", got)
+	}
+}
+
+func TestOverlapFrac(t *testing.T) {
+	if f := overlapFrac(0, 10, 20, 10); f != 0 {
+		t.Errorf("disjoint overlap = %g", f)
+	}
+	if f := overlapFrac(0, 10, 0, 10); f != 1 {
+		t.Errorf("identical overlap = %g", f)
+	}
+	if f := overlapFrac(0, 10, 5, 10); math.Abs(f-0.5) > 1e-12 {
+		t.Errorf("half overlap = %g", f)
+	}
+	if f := overlapFrac(0, 100, 40, 20); math.Abs(f-1.0) > 1e-12 {
+		t.Errorf("contained overlap = %g (fraction of shorter)", f)
+	}
+}

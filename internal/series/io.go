@@ -1,0 +1,164 @@
+package series
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// ReadText parses a whitespace- or newline-separated stream of float64
+// values. Lines starting with '#' are comments. Empty input yields an empty
+// series. Non-finite values are rejected.
+func ReadText(r io.Reader, name string) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var values []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		for _, field := range strings.Fields(text) {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("series: line %d: %w", line, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("series: line %d: %w", line, ErrInvalidValue)
+			}
+			values = append(values, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("series: %w", err)
+	}
+	return New(name, values), nil
+}
+
+// ReadCSV parses one column (0-based index col) of a comma-separated stream.
+// A non-numeric first row is treated as a header and skipped.
+func ReadCSV(r io.Reader, name string, col int) (*Series, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	var values []float64
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if col >= len(fields) {
+			return nil, fmt.Errorf("series: line %d: column %d out of range (%d fields)", line, col, len(fields))
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(fields[col]), 64)
+		if err != nil {
+			if line == 1 {
+				continue // header row
+			}
+			return nil, fmt.Errorf("series: line %d: %w", line, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("series: line %d: %w", line, ErrInvalidValue)
+		}
+		values = append(values, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("series: %w", err)
+	}
+	return New(name, values), nil
+}
+
+// ReadBinary parses little-endian float64 values until EOF.
+func ReadBinary(r io.Reader, name string) (*Series, error) {
+	br := bufio.NewReader(r)
+	var values []float64
+	buf := make([]byte, 8)
+	for {
+		_, err := io.ReadFull(br, buf)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("series: binary read: %w", err)
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(buf))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("series: %w in binary stream", ErrInvalidValue)
+		}
+		values = append(values, v)
+	}
+	return New(name, values), nil
+}
+
+// WriteText writes one value per line with full float64 round-trip
+// precision.
+func (s *Series) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, v := range s.Values {
+		if _, err := bw.WriteString(strconv.FormatFloat(v, 'g', -1, 64)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBinary writes little-endian float64 values.
+func (s *Series) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	buf := make([]byte, 8)
+	for _, v := range s.Values {
+		binary.LittleEndian.PutUint64(buf, math.Float64bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadFile loads a series from path, picking the format from the extension:
+// ".bin" → binary float64, ".csv" → first CSV column, anything else → text.
+func LoadFile(path string) (*Series, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := path
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		name = path[i+1:]
+	}
+	switch {
+	case strings.HasSuffix(path, ".bin"):
+		return ReadBinary(f, name)
+	case strings.HasSuffix(path, ".csv"):
+		return ReadCSV(f, name, 0)
+	default:
+		return ReadText(f, name)
+	}
+}
+
+// SaveFile writes the series to path, picking the format from the extension
+// the same way LoadFile does.
+func (s *Series) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".bin") {
+		return s.WriteBinary(f)
+	}
+	return s.WriteText(f)
+}

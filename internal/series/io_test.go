@@ -1,0 +1,154 @@
+package series
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadTextBasic(t *testing.T) {
+	in := "# comment\n1.5\n2.5\n\n3 4\n"
+	s, err := ReadText(strings.NewReader(in), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, 3, 4}
+	if len(s.Values) != len(want) {
+		t.Fatalf("got %v", s.Values)
+	}
+	for i := range want {
+		if s.Values[i] != want[i] {
+			t.Fatalf("got %v want %v", s.Values, want)
+		}
+	}
+}
+
+func TestReadTextRejectsGarbage(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("1\nnot-a-number\n"), "t"); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := ReadText(strings.NewReader("1\nNaN\n"), "t"); err == nil {
+		t.Error("expected NaN rejection")
+	}
+	if _, err := ReadText(strings.NewReader("+Inf\n"), "t"); err == nil {
+		t.Error("expected Inf rejection")
+	}
+}
+
+func TestReadCSV(t *testing.T) {
+	in := "time,value\n0,1.5\n1,2.5\n2,3.5\n"
+	s, err := ReadCSV(strings.NewReader(in), "t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Values) != 3 || s.Values[2] != 3.5 {
+		t.Fatalf("got %v", s.Values)
+	}
+}
+
+func TestReadCSVColumnOutOfRange(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("1,2\n"), "t", 5); err == nil {
+		t.Error("expected out-of-range error")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	s := New("t", []float64{1.25, -3.5e-7, 0, 123456789.123})
+	var buf bytes.Buffer
+	if err := s.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Fatalf("round trip mismatch: %v vs %v", got.Values, s.Values)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	s := New("t", []float64{1.25, -2.5, math.Pi, 1e-300})
+	var buf bytes.Buffer
+	if err := s.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestReadBinaryRejectsNaN(t *testing.T) {
+	s := New("t", []float64{1})
+	var buf bytes.Buffer
+	_ = s.WriteBinary(&buf)
+	nan := make([]byte, 8)
+	for i := range nan {
+		nan[i] = 0xff // quiet NaN pattern
+	}
+	buf.Write(nan)
+	if _, err := ReadBinary(&buf, "t"); err == nil {
+		t.Error("expected NaN rejection from binary stream")
+	}
+}
+
+func TestLoadSaveFile(t *testing.T) {
+	dir := t.TempDir()
+	s := New("t", []float64{9, 8, 7})
+
+	txtPath := filepath.Join(dir, "data.txt")
+	if err := s.SaveFile(txtPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Values[0] != 9 {
+		t.Fatalf("text file round trip: %v", got.Values)
+	}
+	if got.Name != "data.txt" {
+		t.Errorf("name should be base name, got %q", got.Name)
+	}
+
+	binPath := filepath.Join(dir, "data.bin")
+	if err := s.SaveFile(binPath); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 3 || got.Values[2] != 7 {
+		t.Fatalf("binary file round trip: %v", got.Values)
+	}
+
+	csvPath := filepath.Join(dir, "data.csv")
+	if err := os.WriteFile(csvPath, []byte("v\n5\n6\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = LoadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.Values[1] != 6 {
+		t.Fatalf("csv load: %v", got.Values)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("/nonexistent/path/data.txt"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}

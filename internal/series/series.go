@@ -1,0 +1,86 @@
+// Package series provides the data-series substrate shared by every other
+// package in the VALMOD reproduction: the Series type, rolling subsequence
+// statistics, z-normalization, the z-normalized Euclidean distance, and
+// loaders/writers for common on-disk formats.
+//
+// Terminology follows the paper: a data series D of length |D| has
+// contiguous subsequences D_{i,ℓ} identified by offset i and length ℓ.
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTooShort is returned when a series is shorter than an operation needs.
+var ErrTooShort = errors.New("series: too short")
+
+// ErrInvalidValue is returned when a series contains NaN or ±Inf.
+var ErrInvalidValue = errors.New("series: non-finite value")
+
+// Series is an in-memory data series. The zero value is an empty series
+// ready to use. Values holds the raw points in order.
+type Series struct {
+	// Name is an optional label used in reports ("ECG", "ASTRO", ...).
+	Name string
+	// Values are the raw data points.
+	Values []float64
+}
+
+// New returns a Series wrapping values (not copied) with the given name.
+func New(name string, values []float64) *Series {
+	return &Series{Name: name, Values: values}
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Values) }
+
+// NumSubsequences returns the number of contiguous subsequences of length m,
+// i.e. |D| − m + 1, or 0 when m is out of range.
+func (s *Series) NumSubsequences(m int) int {
+	if m <= 0 || m > len(s.Values) {
+		return 0
+	}
+	return len(s.Values) - m + 1
+}
+
+// Sub returns the subsequence D_{i,m} as a slice aliasing the series
+// storage. It panics when the window is out of range, mirroring slice
+// semantics.
+func (s *Series) Sub(i, m int) []float64 {
+	return s.Values[i : i+m]
+}
+
+// Clone returns a deep copy of the series.
+func (s *Series) Clone() *Series {
+	v := make([]float64, len(s.Values))
+	copy(v, s.Values)
+	return &Series{Name: s.Name, Values: v}
+}
+
+// Prefix returns a view of the first n points (useful for the dataset-length
+// scaling experiment, Figure 3 bottom). It panics when n is out of range.
+func (s *Series) Prefix(n int) *Series {
+	return &Series{Name: s.Name, Values: s.Values[:n]}
+}
+
+// Validate returns an error when the series contains NaN or infinite values,
+// identifying the first offending index.
+func (s *Series) Validate() error {
+	for i, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w at index %d: %v", ErrInvalidValue, i, v)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer with a short summary, not the full data.
+func (s *Series) String() string {
+	name := s.Name
+	if name == "" {
+		name = "series"
+	}
+	return fmt.Sprintf("%s(n=%d)", name, len(s.Values))
+}

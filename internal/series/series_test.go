@@ -1,0 +1,139 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNumSubsequences(t *testing.T) {
+	s := New("t", make([]float64, 10))
+	cases := []struct{ m, want int }{
+		{1, 10}, {5, 6}, {10, 1}, {11, 0}, {0, 0}, {-3, 0},
+	}
+	for _, c := range cases {
+		if got := s.NumSubsequences(c.m); got != c.want {
+			t.Errorf("NumSubsequences(%d) = %d, want %d", c.m, got, c.want)
+		}
+	}
+}
+
+func TestSubAliases(t *testing.T) {
+	s := New("t", []float64{0, 1, 2, 3, 4})
+	sub := s.Sub(1, 3)
+	if len(sub) != 3 || sub[0] != 1 || sub[2] != 3 {
+		t.Fatalf("Sub(1,3) = %v", sub)
+	}
+	sub[0] = 99
+	if s.Values[1] != 99 {
+		t.Error("Sub should alias the series storage")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := New("t", []float64{1, 2, 3})
+	c := s.Clone()
+	c.Values[0] = 42
+	if s.Values[0] != 1 {
+		t.Error("Clone must not share storage")
+	}
+	if c.Name != "t" {
+		t.Error("Clone must preserve the name")
+	}
+}
+
+func TestPrefix(t *testing.T) {
+	s := New("t", []float64{1, 2, 3, 4})
+	p := s.Prefix(2)
+	if p.Len() != 2 || p.Values[1] != 2 {
+		t.Fatalf("Prefix(2) = %v", p.Values)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := New("ok", []float64{1, 2, 3}).Validate(); err != nil {
+		t.Errorf("clean series: %v", err)
+	}
+	if err := New("nan", []float64{1, math.NaN()}).Validate(); err == nil {
+		t.Error("NaN series should fail validation")
+	}
+	if err := New("inf", []float64{math.Inf(1)}).Validate(); err == nil {
+		t.Error("Inf series should fail validation")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	if got := New("ECG", make([]float64, 7)).String(); got != "ECG(n=7)" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := New("", nil).String(); got != "series(n=0)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestStatsMatchesTwoPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 500)
+	for i := range x {
+		x[i] = rng.NormFloat64()*100 + 50
+	}
+	st := NewStats(x)
+	for _, m := range []int{1, 2, 7, 64, 500} {
+		for i := 0; i+m <= len(x); i += 37 {
+			mu, sd := st.MeanStd(i, m)
+			wantMu, wantSd := MeanStdTwoPass(x[i : i+m])
+			if math.Abs(mu-wantMu) > 1e-9*(1+math.Abs(wantMu)) {
+				t.Fatalf("m=%d i=%d mean %g want %g", m, i, mu, wantMu)
+			}
+			if math.Abs(sd-wantSd) > 1e-6*(1+math.Abs(mu)+wantSd) {
+				t.Fatalf("m=%d i=%d std %g want %g", m, i, sd, wantSd)
+			}
+		}
+	}
+}
+
+func TestStatsConstantWindow(t *testing.T) {
+	x := []float64{3, 3, 3, 3, 3}
+	st := NewStats(x)
+	mu, sd := st.MeanStd(0, 5)
+	if mu != 3 || sd != 0 {
+		t.Errorf("constant window: mean=%g std=%g", mu, sd)
+	}
+	if st.Var(1, 3) != 0 {
+		t.Errorf("variance of constant window should clamp to 0")
+	}
+}
+
+func TestSlidingMeanStd(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	means, stds := SlidingMeanStd(x, 2)
+	wantMeans := []float64{1.5, 2.5, 3.5, 4.5}
+	for i := range wantMeans {
+		if math.Abs(means[i]-wantMeans[i]) > 1e-12 {
+			t.Errorf("means[%d] = %g, want %g", i, means[i], wantMeans[i])
+		}
+		if math.Abs(stds[i]-0.5) > 1e-12 {
+			t.Errorf("stds[%d] = %g, want 0.5", i, stds[i])
+		}
+	}
+	if m, s := SlidingMeanStd(x, 6); m != nil || s != nil {
+		t.Error("out-of-range m should return nils")
+	}
+	if m, s := SlidingMeanStd(x, 0); m != nil || s != nil {
+		t.Error("m=0 should return nils")
+	}
+}
+
+func TestStatsSumAndSumSq(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	st := NewStats(x)
+	if st.Sum(1, 2) != 5 {
+		t.Errorf("Sum(1,2) = %g, want 5", st.Sum(1, 2))
+	}
+	if st.SumSq(1, 3) != 4+9+16 {
+		t.Errorf("SumSq(1,3) = %g, want 29", st.SumSq(1, 3))
+	}
+	if st.N() != 4 {
+		t.Errorf("N() = %d", st.N())
+	}
+}

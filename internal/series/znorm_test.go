@@ -1,0 +1,195 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// naiveZNormDist computes the distance by explicitly normalizing both
+// windows — the definitional reference.
+func naiveZNormDist(a, b []float64) float64 {
+	za := ZNormalize(a)
+	zb := ZNormalize(b)
+	var ss float64
+	for i := range za {
+		d := za[i] - zb[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss)
+}
+
+func randWindow(rng *rand.Rand, m int) []float64 {
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = rng.NormFloat64()*10 + 3
+	}
+	return w
+}
+
+func TestZNormalizeMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []int{2, 5, 50, 333} {
+		z := ZNormalize(randWindow(rng, m))
+		mu, sd := MeanStdTwoPass(z)
+		if math.Abs(mu) > 1e-10 {
+			t.Errorf("m=%d: mean %g, want 0", m, mu)
+		}
+		if math.Abs(sd-1) > 1e-10 {
+			t.Errorf("m=%d: std %g, want 1", m, sd)
+		}
+	}
+}
+
+func TestZNormalizeConstant(t *testing.T) {
+	z := ZNormalize([]float64{5, 5, 5})
+	for _, v := range z {
+		if v != 0 {
+			t.Fatalf("constant window should z-normalize to zeros, got %v", z)
+		}
+	}
+}
+
+func TestZNormDistMatchesDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, m := range []int{2, 3, 10, 100} {
+		a, b := randWindow(rng, m), randWindow(rng, m)
+		got := ZNormDist(a, b)
+		want := naiveZNormDist(a, b)
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Errorf("m=%d: %g want %g", m, got, want)
+		}
+	}
+}
+
+func TestZNormDistProperties(t *testing.T) {
+	// Shift/scale invariance and symmetry: d(x, a·y+b) == d(x, y) for a>0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(60) + 2
+		a, b := randWindow(rng, m), randWindow(rng, m)
+		scale := math.Abs(rng.NormFloat64()) + 0.1
+		shift := rng.NormFloat64() * 5
+		bScaled := make([]float64, m)
+		for i := range b {
+			bScaled[i] = scale*b[i] + shift
+		}
+		d1 := ZNormDist(a, b)
+		d2 := ZNormDist(a, bScaled)
+		d3 := ZNormDist(b, a)
+		return math.Abs(d1-d2) < 1e-7*(1+d1) && math.Abs(d1-d3) < 1e-9*(1+d1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZNormDistSelfIsZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randWindow(rng, 30)
+	if d := ZNormDist(a, a); d > 1e-9 {
+		t.Errorf("d(a,a) = %g, want 0", d)
+	}
+}
+
+func TestZNormDistRange(t *testing.T) {
+	// Max distance is 2√m (perfectly anti-correlated).
+	m := 16
+	up := make([]float64, m)
+	down := make([]float64, m)
+	for i := 0; i < m; i++ {
+		up[i] = float64(i)
+		down[i] = float64(m - i)
+	}
+	d := ZNormDist(up, down)
+	want := 2 * math.Sqrt(float64(m))
+	if math.Abs(d-want) > 1e-9 {
+		t.Errorf("anti-correlated distance %g, want %g", d, want)
+	}
+}
+
+func TestZNormDistDegenerate(t *testing.T) {
+	flat := []float64{2, 2, 2, 2}
+	flat2 := []float64{-7, -7, -7, -7}
+	varied := []float64{1, 2, 3, 4}
+	if d := ZNormDist(flat, flat2); d != 0 {
+		t.Errorf("both constant: d = %g, want 0", d)
+	}
+	want := math.Sqrt(2 * 4)
+	if d := ZNormDist(flat, varied); math.Abs(d-want) > 1e-12 {
+		t.Errorf("one constant: d = %g, want %g", d, want)
+	}
+}
+
+func TestZNormDistPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	ZNormDist([]float64{1, 2}, []float64{1, 2, 3})
+}
+
+func TestDistFromDotMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 50; trial++ {
+		m := rng.Intn(80) + 2
+		a, b := randWindow(rng, m), randWindow(rng, m)
+		muA, sdA := MeanStdTwoPass(a)
+		muB, sdB := MeanStdTwoPass(b)
+		got := DistFromDot(Dot(a, b), float64(m), muA, sdA, muB, sdB)
+		want := ZNormDist(a, b)
+		if math.Abs(got-want) > 1e-8*(1+want) {
+			t.Fatalf("m=%d: DistFromDot %g want %g", m, got, want)
+		}
+	}
+}
+
+func TestCorrFromDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := 40
+	a := randWindow(rng, m)
+	muA, sdA := MeanStdTwoPass(a)
+	// Self-correlation is 1.
+	if rho := CorrFromDot(Dot(a, a), float64(m), muA, sdA, muA, sdA); math.Abs(rho-1) > 1e-9 {
+		t.Errorf("self correlation %g, want 1", rho)
+	}
+	// Degenerate conventions.
+	if rho := CorrFromDot(0, float64(m), 0, 0, 0, 0); rho != 1 {
+		t.Errorf("both constant: %g, want 1", rho)
+	}
+	if rho := CorrFromDot(0, float64(m), 0, 0, muA, sdA); rho != 0 {
+		t.Errorf("one constant: %g, want 0", rho)
+	}
+}
+
+func TestLengthNormalize(t *testing.T) {
+	// d/√ℓ: equal raw distances at different lengths rank the longer first.
+	short := LengthNormalize(10, 50)
+	long := LengthNormalize(10, 400)
+	if long >= short {
+		t.Errorf("length normalization should favor longer: %g vs %g", long, short)
+	}
+	if math.Abs(LengthNormalize(6, 9)-2) > 1e-12 {
+		t.Errorf("LengthNormalize(6,9) = %g, want 2", LengthNormalize(6, 9))
+	}
+}
+
+func TestDistCorrConsistency(t *testing.T) {
+	// d² == 2m(1−ρ) must tie the two helpers together.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := rng.Intn(60) + 2
+		a, b := randWindow(rng, m), randWindow(rng, m)
+		muA, sdA := MeanStdTwoPass(a)
+		muB, sdB := MeanStdTwoPass(b)
+		qt := Dot(a, b)
+		d := DistFromDot(qt, float64(m), muA, sdA, muB, sdB)
+		rho := CorrFromDot(qt, float64(m), muA, sdA, muB, sdB)
+		return math.Abs(d*d-2*float64(m)*(1-rho)) < 1e-6*(1+d*d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

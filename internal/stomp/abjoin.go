@@ -1,0 +1,71 @@
+package stomp
+
+import (
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+// ComputeAB returns the AB-join matrix profile: for every subsequence of a,
+// the z-normalized distance to its nearest neighbor among the subsequences
+// of b (Matrix Profile I's join semantics). No exclusion zone applies —
+// the two series are distinct, so no match is trivial. The returned
+// profile's Index values are offsets into b.
+func ComputeAB(a, b []float64, m int) (*profile.MatrixProfile, error) {
+	if err := validate(len(a), m); err != nil {
+		return nil, err
+	}
+	if err := validate(len(b), m); err != nil {
+		return nil, err
+	}
+	sA := len(a) - m + 1
+	sB := len(b) - m + 1
+	mp := profile.New(m, 0, sA)
+	mp.Exclusion = 0
+
+	meansA, stdsA := series.SlidingMeanStd(a, m)
+	meansB, stdsB := series.SlidingMeanStd(b, m)
+	// Row 0 via FFT, then the standard dot-product recurrence row by row.
+	qt := fft.SlidingDotProducts(a[0:m], b)
+	row0 := append([]float64(nil), qt...)
+	fm := float64(m)
+	for i := 0; i < sA; i++ {
+		if i > 0 {
+			tail := a[i+m-1]
+			head := a[i-1]
+			for j := sB - 1; j >= 1; j-- {
+				qt[j] = qt[j-1] + tail*b[j+m-1] - head*b[j-1]
+			}
+			// Column 0 has no left neighbor in the recurrence; one O(m)
+			// dot product per row keeps it exact.
+			qt[0] = series.Dot(a[i:i+m], b[0:m])
+		} else {
+			copy(qt, row0)
+		}
+		for j := 0; j < sB; j++ {
+			d := series.DistFromDot(qt[j], fm, meansA[i], stdsA[i], meansB[j], stdsB[j])
+			mp.Update(i, d, j)
+		}
+	}
+	return mp, nil
+}
+
+// BruteAB is the O(|a|·|b|·m) reference join used in tests.
+func BruteAB(a, b []float64, m int) (*profile.MatrixProfile, error) {
+	if err := validate(len(a), m); err != nil {
+		return nil, err
+	}
+	if err := validate(len(b), m); err != nil {
+		return nil, err
+	}
+	sA := len(a) - m + 1
+	sB := len(b) - m + 1
+	mp := profile.New(m, 0, sA)
+	mp.Exclusion = 0
+	for i := 0; i < sA; i++ {
+		for j := 0; j < sB; j++ {
+			mp.Update(i, series.ZNormDist(a[i:i+m], b[j:j+m]), j)
+		}
+	}
+	return mp, nil
+}

@@ -1,0 +1,88 @@
+package stomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestComputeABMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randWalk(rng, 150)
+	b := randWalk(rng, 220)
+	for _, m := range []int{8, 16, 40} {
+		got, err := ComputeAB(a, b, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := BruteAB(a, b, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Len() != want.Len() {
+			t.Fatalf("m=%d: len %d want %d", m, got.Len(), want.Len())
+		}
+		for i := 0; i < got.Len(); i++ {
+			if math.Abs(got.Dist[i]-want.Dist[i]) > 2e-5*(1+want.Dist[i]) {
+				t.Fatalf("m=%d i=%d: %g want %g", m, i, got.Dist[i], want.Dist[i])
+			}
+		}
+	}
+}
+
+func TestComputeABFindsSharedPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randWalk(rng, 300)
+	b := randWalk(rng, 300)
+	m := 24
+	// Plant the same shape in both series.
+	for i := 0; i < m; i++ {
+		v := math.Sin(float64(i)*0.4) * 9
+		a[70+i] = v
+		b[210+i] = v + rng.NormFloat64()*0.001
+	}
+	mp, err := ComputeAB(a, b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, i := mp.Min()
+	if !near(i, 70, 2) || !near(mp.Index[i], 210, 2) {
+		t.Errorf("join min at (%d,%d), want ~(70,210)", i, mp.Index[i])
+	}
+	if d > 0.1 {
+		t.Errorf("join distance %g, want ~0", d)
+	}
+}
+
+func TestComputeABNoExclusion(t *testing.T) {
+	// Self-join via AB on the same series: every subsequence matches
+	// itself at distance 0 since no exclusion zone applies.
+	rng := rand.New(rand.NewSource(3))
+	a := randWalk(rng, 100)
+	mp, err := ComputeAB(a, a, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mp.Len(); i++ {
+		if mp.Dist[i] > 2e-5 {
+			t.Fatalf("self AB-join dist[%d] = %g, want 0", i, mp.Dist[i])
+		}
+		if mp.Index[i] != i {
+			// Equal-distance ties may pick another exact duplicate; verify
+			// the distance, not the index.
+			if mp.Dist[i] > 2e-5 {
+				t.Fatalf("index %d != %d with nonzero distance", mp.Index[i], i)
+			}
+		}
+	}
+}
+
+func TestComputeABValidation(t *testing.T) {
+	x := make([]float64, 30)
+	if _, err := ComputeAB(x, x, 1); err == nil {
+		t.Error("m=1 should fail")
+	}
+	if _, err := ComputeAB(x, make([]float64, 5), 10); err == nil {
+		t.Error("b shorter than m should fail")
+	}
+}

@@ -1,0 +1,224 @@
+// Package stomp implements STOMP (Zhu et al., "Matrix Profile II", ICDM
+// 2016): the exact O(n²) self-join matrix profile with O(1)-amortized
+// sliding dot products. It is both the paper's fixed-length baseline
+// (adapted to length ranges in internal/baseline/stomprange) and the engine
+// VALMOD runs once at ℓmin.
+//
+// Three variants are provided: a cache-friendly diagonal traversal
+// (Compute), a goroutine-parallel version partitioning diagonals
+// (ComputeParallel), and a brute-force reference (Brute) used only in tests
+// and ablation benchmarks.
+package stomp
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+// ErrBadLength is returned when the subsequence length is out of range.
+var ErrBadLength = errors.New("stomp: subsequence length out of range")
+
+func validate(n, m int) error {
+	if m < 2 || m > n {
+		return fmt.Errorf("%w: m=%d, n=%d", ErrBadLength, m, n)
+	}
+	return nil
+}
+
+// ValidateLength reports whether subsequence length m is usable for a
+// series of n points, with the same rule every algorithm in the suite
+// applies (2 ≤ m ≤ n).
+func ValidateLength(n, m int) error { return validate(n, m) }
+
+// Compute returns the exact matrix profile of t at subsequence length m,
+// using exclusion zone ⌈m/exclFactor⌉ (exclFactor ≤ 0 selects the default).
+// Diagonal traversal: one FFT seeds every diagonal's first dot product, then
+// each diagonal streams in O(1) per cell.
+func Compute(t []float64, m, exclFactor int) (*profile.MatrixProfile, error) {
+	n := len(t)
+	if err := validate(n, m); err != nil {
+		return nil, err
+	}
+	s := n - m + 1
+	excl := profile.ExclusionZone(m, exclFactor)
+	mp := profile.New(m, excl, s)
+	if s <= excl {
+		return mp, nil // no non-trivial pairs exist
+	}
+	means, stds := series.SlidingMeanStd(t, m)
+	qt0 := fft.SlidingDotProducts(t[0:m], t)
+	fm := float64(m)
+	for k := excl; k < s; k++ {
+		qt := qt0[k]
+		for i := 0; i+k < s; i++ {
+			j := i + k
+			if i > 0 {
+				qt += t[i+m-1]*t[j+m-1] - t[i-1]*t[j-1]
+			}
+			d := series.DistFromDot(qt, fm, means[i], stds[i], means[j], stds[j])
+			mp.Update(i, d, j)
+			mp.Update(j, d, i)
+		}
+	}
+	return mp, nil
+}
+
+// ComputeParallel is Compute with diagonals partitioned across workers.
+// workers ≤ 0 selects GOMAXPROCS. Each worker owns a private profile that is
+// min-merged at the end, so results equal the serial version (nearest-
+// neighbor ties may resolve to a different, equally-near index).
+func ComputeParallel(t []float64, m, exclFactor, workers int) (*profile.MatrixProfile, error) {
+	n := len(t)
+	if err := validate(n, m); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := n - m + 1
+	excl := profile.ExclusionZone(m, exclFactor)
+	mp := profile.New(m, excl, s)
+	if s <= excl {
+		return mp, nil
+	}
+	if workers == 1 || s-excl < 4*workers {
+		return Compute(t, m, exclFactor)
+	}
+	means, stds := series.SlidingMeanStd(t, m)
+	qt0 := fft.SlidingDotProducts(t[0:m], t)
+	fm := float64(m)
+
+	// Diagonal k has s-k cells; assign contiguous ranges of k with roughly
+	// equal total cell counts so workers finish together.
+	totalCells := 0
+	for k := excl; k < s; k++ {
+		totalCells += s - k
+	}
+	bounds := make([]int, 0, workers+1)
+	bounds = append(bounds, excl)
+	acc, target, next := 0, totalCells/workers, 1
+	for k := excl; k < s && next < workers; k++ {
+		acc += s - k
+		if acc >= target*next {
+			bounds = append(bounds, k+1)
+			next++
+		}
+	}
+	bounds = append(bounds, s)
+
+	locals := make([]*profile.MatrixProfile, len(bounds)-1)
+	var wg sync.WaitGroup
+	for w := 0; w < len(bounds)-1; w++ {
+		lo, hi := bounds[w], bounds[w+1]
+		local := profile.New(m, excl, s)
+		locals[w] = local
+		wg.Add(1)
+		go func(lo, hi int, local *profile.MatrixProfile) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				qt := qt0[k]
+				for i := 0; i+k < s; i++ {
+					j := i + k
+					if i > 0 {
+						qt += t[i+m-1]*t[j+m-1] - t[i-1]*t[j-1]
+					}
+					d := series.DistFromDot(qt, fm, means[i], stds[i], means[j], stds[j])
+					local.Update(i, d, j)
+					local.Update(j, d, i)
+				}
+			}
+		}(lo, hi, local)
+	}
+	wg.Wait()
+	for _, local := range locals {
+		for i := 0; i < s; i++ {
+			mp.Update(i, local.Dist[i], local.Index[i])
+		}
+	}
+	return mp, nil
+}
+
+// Rows streams the full distance-profile row of every anchor i, in order,
+// with O(1)-amortized dot-product updates per cell. visit receives the raw
+// sliding dot products and distances of row i; both buffers are reused
+// across calls, so the visitor must not retain them. Trivial-match masking
+// is the visitor's responsibility (the profile row includes |i−j| < excl
+// cells). VALMOD's ℓmin phase uses this to select its p lower-bound entries
+// per anchor while the matrix profile is built.
+func Rows(t []float64, m int, visit func(i int, qt, dist []float64)) error {
+	n := len(t)
+	if err := validate(n, m); err != nil {
+		return err
+	}
+	s := n - m + 1
+	means, stds := series.SlidingMeanStd(t, m)
+	row0 := fft.SlidingDotProducts(t[0:m], t)
+	qt := append([]float64(nil), row0...)
+	dist := make([]float64, s)
+	fm := float64(m)
+	for i := 0; i < s; i++ {
+		if i > 0 {
+			// In-place row recurrence, descending j so qt[j-1] is still row i-1.
+			for j := s - 1; j >= 1; j-- {
+				qt[j] = qt[j-1] + t[i+m-1]*t[j+m-1] - t[i-1]*t[j-1]
+			}
+			qt[0] = row0[i] // symmetry: QT(i,0) == QT(0,i)
+		}
+		for j := 0; j < s; j++ {
+			dist[j] = series.DistFromDot(qt[j], fm, means[i], stds[i], means[j], stds[j])
+		}
+		visit(i, qt, dist)
+	}
+	return nil
+}
+
+// ComputeFromRows builds the matrix profile through the Rows iterator; it is
+// the row-variant cross-check for Compute and the code path reused by
+// VALMOD's full-recompute fallback.
+func ComputeFromRows(t []float64, m, exclFactor int) (*profile.MatrixProfile, error) {
+	n := len(t)
+	if err := validate(n, m); err != nil {
+		return nil, err
+	}
+	s := n - m + 1
+	excl := profile.ExclusionZone(m, exclFactor)
+	mp := profile.New(m, excl, s)
+	err := Rows(t, m, func(i int, _, dist []float64) {
+		for j := 0; j < s; j++ {
+			if j >= i-excl+1 && j <= i+excl-1 {
+				continue
+			}
+			mp.Update(i, dist[j], j)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mp, nil
+}
+
+// Brute is the O(n²·m) definitional matrix profile used as ground truth in
+// tests and the pruning ablation.
+func Brute(t []float64, m, exclFactor int) (*profile.MatrixProfile, error) {
+	n := len(t)
+	if err := validate(n, m); err != nil {
+		return nil, err
+	}
+	s := n - m + 1
+	excl := profile.ExclusionZone(m, exclFactor)
+	mp := profile.New(m, excl, s)
+	for i := 0; i < s; i++ {
+		for j := i + excl; j < s; j++ {
+			d := series.ZNormDist(t[i:i+m], t[j:j+m])
+			mp.Update(i, d, j)
+			mp.Update(j, d, i)
+		}
+	}
+	return mp, nil
+}

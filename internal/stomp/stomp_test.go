@@ -1,0 +1,245 @@
+package stomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+func randWalk(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	v := 0.0
+	for i := range x {
+		v += rng.NormFloat64()
+		x[i] = v
+	}
+	return x
+}
+
+func profilesMatch(t *testing.T, got, want *profile.MatrixProfile, tag string) {
+	t.Helper()
+	if got.Len() != want.Len() {
+		t.Fatalf("%s: len %d want %d", tag, got.Len(), want.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		g, w := got.Dist[i], want.Dist[i]
+		if math.IsInf(g, 1) != math.IsInf(w, 1) {
+			t.Fatalf("%s: i=%d inf mismatch %g vs %g", tag, i, g, w)
+		}
+		if !math.IsInf(g, 1) && math.Abs(g-w) > 1e-6*(1+w) {
+			t.Fatalf("%s: i=%d dist %g want %g", tag, i, g, w)
+		}
+	}
+}
+
+func TestComputeMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, c := range []struct{ n, m int }{{64, 8}, {128, 16}, {200, 10}, {100, 50}} {
+		x := randWalk(rng, c.n)
+		got, err := Compute(x, c.m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Brute(x, c.m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profilesMatch(t, got, want, "compute-vs-brute")
+	}
+}
+
+func TestComputeFromRowsMatchesCompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, c := range []struct{ n, m int }{{80, 8}, {150, 25}} {
+		x := randWalk(rng, c.n)
+		a, err := Compute(x, c.m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ComputeFromRows(x, c.m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profilesMatch(t, a, b, "rows-vs-diagonal")
+	}
+}
+
+func TestComputeParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := randWalk(rng, 400)
+	serial, err := Compute(x, 20, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		par, err := ComputeParallel(x, 20, 0, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		profilesMatch(t, par, serial, "parallel")
+	}
+}
+
+func TestComputeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(120) + 30
+		m := rng.Intn(n/3) + 4
+		x := randWalk(rng, n)
+		got, err := Compute(x, m, 0)
+		if err != nil {
+			return false
+		}
+		want, err := Brute(x, m, 0)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < got.Len(); i++ {
+			g, w := got.Dist[i], want.Dist[i]
+			if math.IsInf(g, 1) != math.IsInf(w, 1) {
+				return false
+			}
+			if !math.IsInf(g, 1) && math.Abs(g-w) > 1e-5*(1+w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowsDistancesMatchDefinition(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := randWalk(rng, 120)
+	m := 12
+	err := Rows(x, m, func(i int, qt, dist []float64) {
+		if i%17 != 0 {
+			return
+		}
+		for j := 0; j < len(dist); j += 11 {
+			want := series.ZNormDist(x[i:i+m], x[j:j+m])
+			if math.Abs(dist[j]-want) > 1e-6*(1+want) {
+				t.Errorf("row %d col %d: %g want %g", i, j, dist[j], want)
+			}
+			wantQT := series.Dot(x[i:i+m], x[j:j+m])
+			if math.Abs(qt[j]-wantQT) > 1e-6*(1+math.Abs(wantQT)) {
+				t.Errorf("row %d col %d: qt %g want %g", i, j, qt[j], wantQT)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfJoinSymmetryInvariant(t *testing.T) {
+	// The motif pair (i, MP.Index[i]) at the global minimum must be mutual
+	// within distance equality: dist[i] == dist[index[i]] at the minimum.
+	rng := rand.New(rand.NewSource(5))
+	x := randWalk(rng, 300)
+	mp, err := Compute(x, 16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, i := mp.Min()
+	j := mp.Index[i]
+	if math.Abs(mp.Dist[j]-d) > 1e-9*(1+d) {
+		t.Errorf("global motif not mutual: d[i]=%g d[j]=%g", d, mp.Dist[j])
+	}
+}
+
+func TestValidation(t *testing.T) {
+	x := make([]float64, 10)
+	if _, err := Compute(x, 1, 0); err == nil {
+		t.Error("m=1 should fail")
+	}
+	if _, err := Compute(x, 11, 0); err == nil {
+		t.Error("m>n should fail")
+	}
+	if _, err := ComputeParallel(x, 0, 0, 2); err == nil {
+		t.Error("m=0 should fail")
+	}
+	if err := Rows(x, 99, func(int, []float64, []float64) {}); err == nil {
+		t.Error("Rows with m>n should fail")
+	}
+}
+
+func TestNoPairsWhenTooShort(t *testing.T) {
+	// s <= excl: profile exists but is all +Inf / -1.
+	x := randWalk(rand.New(rand.NewSource(6)), 20)
+	mp, err := Compute(x, 16, 0) // s=5, excl=4 → only j-i=4 allowed... s>excl so pairs exist
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = mp
+	mp2, err := Compute(x[:18], 16, 0) // s=3, excl=4 → no pairs
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < mp2.Len(); i++ {
+		if mp2.Index[i] != -1 {
+			t.Fatalf("expected empty profile, got index %d at %d", mp2.Index[i], i)
+		}
+	}
+}
+
+func TestPlantedMotifIsFound(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n, m := 500, 32
+	x := randWalk(rng, n)
+	// Plant a near-identical pattern at offsets 50 and 300.
+	pattern := make([]float64, m)
+	for i := range pattern {
+		pattern[i] = math.Sin(float64(i) * 0.4)
+	}
+	for i := 0; i < m; i++ {
+		x[50+i] = pattern[i]*10 + 3
+		x[300+i] = pattern[i]*10 + 3 + rng.NormFloat64()*0.001
+	}
+	mp, err := Compute(x, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := mp.TopKPairs(1)
+	if len(pairs) != 1 {
+		t.Fatal("no motif found")
+	}
+	p := pairs[0]
+	if !(near(p.A, 50, 2) && near(p.B, 300, 2)) {
+		t.Errorf("motif pair = %v, want ~(50,300)", p)
+	}
+}
+
+func near(x, target, tol int) bool {
+	d := x - target
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol
+}
+
+func BenchmarkComputeN2000M64(b *testing.B) {
+	x := randWalk(rand.New(rand.NewSource(8)), 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Compute(x, 64, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkComputeParallelN2000M64(b *testing.B) {
+	x := randWalk(rand.New(rand.NewSource(9)), 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputeParallel(x, 64, 0, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

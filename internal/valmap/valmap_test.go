@@ -1,0 +1,201 @@
+package valmap
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func newSealed(t *testing.T, lmin, lmax, s int) *VALMAP {
+	t.Helper()
+	v, err := New(lmin, lmax, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < s; i++ {
+		v.InitFromProfile(i, float64(10+i), (i+1)%s, lmin)
+	}
+	v.Seal()
+	return v
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(1, 10, 5); err == nil {
+		t.Error("lmin=1 should fail")
+	}
+	if _, err := New(10, 5, 5); err == nil {
+		t.Error("lmax<lmin should fail")
+	}
+	if _, err := New(5, 10, 0); err == nil {
+		t.Error("s=0 should fail")
+	}
+}
+
+func TestApplyOnlyImproves(t *testing.T) {
+	v := newSealed(t, 50, 400, 4)
+	v.BeginLength(51)
+	if !v.Apply(0, 5, 2, 51) {
+		t.Error("improvement should apply")
+	}
+	if v.Apply(0, 6, 3, 52) {
+		t.Error("worse value should not apply")
+	}
+	if v.Apply(0, 5, 3, 52) {
+		t.Error("equal value should not apply")
+	}
+	if n := v.EndLength(); n != 1 {
+		t.Errorf("EndLength = %d, want 1", n)
+	}
+	if v.MPn[0] != 5 || v.IP[0] != 2 || v.LP[0] != 51 {
+		t.Errorf("state = %v %v %v", v.MPn[0], v.IP[0], v.LP[0])
+	}
+}
+
+func TestEmptyCheckpointDropped(t *testing.T) {
+	v := newSealed(t, 50, 400, 4)
+	v.BeginLength(51)
+	if n := v.EndLength(); n != 0 {
+		t.Errorf("EndLength = %d", n)
+	}
+	if len(v.Checkpoints) != 0 {
+		t.Error("empty checkpoint should be dropped")
+	}
+}
+
+func TestStateAtReplaysCheckpoints(t *testing.T) {
+	v := newSealed(t, 50, 400, 4)
+	v.BeginLength(60)
+	v.Apply(1, 3, 0, 60)
+	v.EndLength()
+	v.BeginLength(70)
+	v.Apply(1, 2, 3, 70)
+	v.Apply(2, 4, 0, 70)
+	v.EndLength()
+
+	// At 50 (before any checkpoint): initial state.
+	mpn, ip, lp, err := v.StateAt(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpn[1] != 11 || ip[1] != 2 || lp[1] != 50 {
+		t.Errorf("state@50 slot1 = %v %v %v", mpn[1], ip[1], lp[1])
+	}
+
+	// At 65: first checkpoint applied only.
+	mpn, _, lp, _ = v.StateAt(65)
+	if mpn[1] != 3 || lp[1] != 60 {
+		t.Errorf("state@65 slot1 = %v %v", mpn[1], lp[1])
+	}
+	if mpn[2] != 12 {
+		t.Errorf("state@65 slot2 = %v", mpn[2])
+	}
+
+	// At 400: everything.
+	mpn, ip, lp, _ = v.StateAt(400)
+	if mpn[1] != 2 || ip[1] != 3 || lp[1] != 70 || mpn[2] != 4 {
+		t.Errorf("state@400 = %v %v %v", mpn, ip, lp)
+	}
+
+	// Final state matches StateAt(lmax).
+	for i := range mpn {
+		if mpn[i] != v.MPn[i] || ip[i] != v.IP[i] || lp[i] != v.LP[i] {
+			t.Fatalf("StateAt(lmax) != live state at slot %d", i)
+		}
+	}
+}
+
+func TestStateAtErrors(t *testing.T) {
+	v, _ := New(50, 400, 4)
+	if _, _, _, err := v.StateAt(100); err == nil {
+		t.Error("StateAt before Seal should fail")
+	}
+	v.Seal()
+	if _, _, _, err := v.StateAt(10); err == nil {
+		t.Error("length below lmin should fail")
+	}
+	if _, _, _, err := v.StateAt(1000); err == nil {
+		t.Error("length above lmax should fail")
+	}
+}
+
+func TestMin(t *testing.T) {
+	v := newSealed(t, 50, 400, 5)
+	v.BeginLength(99)
+	v.Apply(3, 0.5, 1, 99)
+	v.EndLength()
+	i, d, j, l := v.Min()
+	if i != 3 || d != 0.5 || j != 1 || l != 99 {
+		t.Errorf("Min = %d %g %d %d", i, d, j, l)
+	}
+}
+
+func TestMinEmpty(t *testing.T) {
+	v, _ := New(50, 60, 3)
+	if i, d, _, _ := v.Min(); i != -1 || !math.IsInf(d, 1) {
+		t.Errorf("empty Min = %d %g", i, d)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	v := newSealed(t, 50, 400, 4)
+	v.BeginLength(60)
+	v.Apply(0, 1.25, 3, 60)
+	v.EndLength()
+
+	var buf bytes.Buffer
+	if err := v.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LMin != 50 || got.LMax != 400 || got.Len() != 4 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i := range v.MPn {
+		if got.MPn[i] != v.MPn[i] || got.IP[i] != v.IP[i] || got.LP[i] != v.LP[i] {
+			t.Fatalf("slot %d mismatch", i)
+		}
+	}
+	// StateAt still works after a round trip.
+	mpn, _, _, err := got.StateAt(55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mpn[0] != 10 {
+		t.Errorf("state@55 slot0 = %v, want initial 10", mpn[0])
+	}
+}
+
+func TestJSONRoundTripInfinities(t *testing.T) {
+	v, _ := New(50, 60, 3)
+	v.InitFromProfile(0, 1.5, 1, 50)
+	v.Seal() // slots 1,2 stay +Inf
+	var buf bytes.Buffer
+	if err := v.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(got.MPn[1], 1) || !math.IsInf(got.MPn[2], 1) {
+		t.Errorf("infinities lost: %v", got.MPn)
+	}
+	if got.MPn[0] != 1.5 {
+		t.Errorf("finite value lost: %v", got.MPn[0])
+	}
+}
+
+func TestReadJSONRejectsMalformed(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{")); err == nil {
+		t.Error("truncated JSON should fail")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"lmin":2,"lmax":3,"mpn":[1],"ip":[],"lp":[]}`)); err == nil {
+		t.Error("mismatched array lengths should fail")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`{"lmin":0,"lmax":3,"mpn":[1],"ip":[0],"lp":[2]}`)); err == nil {
+		t.Error("bad range should fail")
+	}
+}

@@ -1,0 +1,256 @@
+package valmod
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/seriesmining/valmod/internal/core"
+	"github.com/seriesmining/valmod/internal/motifset"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/rank"
+	"github.com/seriesmining/valmod/internal/valmap"
+)
+
+// ErrBadInput is returned for inconsistent arguments (empty series, bad
+// length ranges, non-finite values).
+var ErrBadInput = errors.New("valmod: bad input")
+
+// Options tunes Discover. The zero value selects the published defaults.
+type Options struct {
+	// TopK is the number of motif pairs reported per length (default 10).
+	TopK int
+	// P is the number of entries retained per partial distance profile
+	// (default 10); the memory/pruning trade-off knob from the paper.
+	P int
+	// ExclusionFactor sets the trivial-match zone ⌈ℓ/factor⌉ (default 4).
+	ExclusionFactor int
+	// RecomputeFraction is the fraction of anchors beyond which a length
+	// is recomputed wholesale rather than anchor-by-anchor (default 0.25).
+	RecomputeFraction float64
+	// DisablePruning turns the lower-bound machinery off (ablation only:
+	// identical output, fixed-length recompute per length).
+	DisablePruning bool
+	// Workers bounds the goroutines used by the full-length scans
+	// (0 = all cores, 1 = serial). Results are identical at any setting.
+	Workers int
+}
+
+// MotifPair is a pair of similar subsequences.
+type MotifPair struct {
+	// A and B are the subsequence offsets, A < B.
+	A, B int
+	// Length is the subsequence length the pair was found at.
+	Length int
+	// Distance is the z-normalized Euclidean distance.
+	Distance float64
+	// NormDistance is Distance·√(1/Length), comparable across lengths.
+	NormDistance float64
+}
+
+func (p MotifPair) String() string {
+	return fmt.Sprintf("motif{A=%d B=%d len=%d d=%.4f dn=%.4f}", p.A, p.B, p.Length, p.Distance, p.NormDistance)
+}
+
+// LengthResult is the exact result for one subsequence length.
+type LengthResult struct {
+	// Length is the subsequence length.
+	Length int
+	// Pairs are the exact top-k motif pairs, ascending distance.
+	Pairs []MotifPair
+	// Certified counts anchors resolved by the lower bound alone;
+	// Recomputed counts per-anchor recomputations; FullRecompute marks a
+	// wholesale fallback. Together they instrument the pruning.
+	Certified, Recomputed int
+	FullRecompute         bool
+}
+
+// VALMAP is the variable-length matrix profile (demo Figure 1 d–f): for
+// every subsequence offset, the best length-normalized match across all
+// lengths, where it is, and at which length it was found.
+type VALMAP struct {
+	LMin, LMax int
+	// MPn is the length-normalized profile; +Inf where no match exists.
+	MPn []float64
+	// IP holds best-match offsets (-1 where none).
+	IP []int
+	// LP holds best-match lengths (0 where none).
+	LP []int
+
+	inner *valmap.VALMAP
+}
+
+// StateAt reconstructs the VALMAP as of length l (the demo GUI's
+// checkpoint slider).
+func (v *VALMAP) StateAt(l int) (mpn []float64, ip, lp []int, err error) {
+	return v.inner.StateAt(l)
+}
+
+// Checkpoints returns the lengths at which at least one VALMAP cell
+// improved, in increasing order.
+func (v *VALMAP) Checkpoints() []int {
+	out := make([]int, len(v.inner.Checkpoints))
+	for i, cp := range v.inner.Checkpoints {
+		out[i] = cp.L
+	}
+	return out
+}
+
+// WriteJSON serializes the VALMAP (checkpoints included).
+func (v *VALMAP) WriteJSON(w io.Writer) error { return v.inner.WriteJSON(w) }
+
+// Result is a completed variable-length motif discovery.
+type Result struct {
+	// N is the series length; LMin/LMax echo the range.
+	N, LMin, LMax int
+	// PerLength holds one exact result per length, ℓmin first.
+	PerLength []LengthResult
+	// Profile is the exact matrix profile at ℓmin and ProfileIndex its
+	// index profile (demo Figure 1 b–c).
+	Profile      []float64
+	ProfileIndex []int
+	// VALMAP is the variable-length meta structure.
+	VALMAP *VALMAP
+
+	values []float64
+	excl   int
+}
+
+// Discover runs VALMOD over values for every subsequence length in
+// [lmin, lmax].
+func Discover(values []float64, lmin, lmax int, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), values, lmin, lmax, opts)
+}
+
+// DiscoverContext is Discover with cooperative cancellation, checked
+// between lengths. On cancellation it returns ctx.Err().
+func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts Options) (*Result, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("%w: empty series", ErrBadInput)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("%w: non-finite value at index %d", ErrBadInput, i)
+		}
+	}
+	cfg := core.Config{
+		LMin:              lmin,
+		LMax:              lmax,
+		TopK:              opts.TopK,
+		P:                 opts.P,
+		ExclusionFactor:   opts.ExclusionFactor,
+		RecomputeFraction: opts.RecomputeFraction,
+		DisablePruning:    opts.DisablePruning,
+		Workers:           opts.Workers,
+	}
+	res, err := core.RunContext(ctx, values, cfg)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	out := &Result{
+		N:      res.N,
+		LMin:   lmin,
+		LMax:   lmax,
+		values: values,
+		excl:   res.Cfg.ExclusionFactor,
+	}
+	for _, lr := range res.PerLength {
+		plr := LengthResult{
+			Length:        lr.M,
+			Certified:     lr.Stats.Certified,
+			Recomputed:    lr.Stats.Recomputed,
+			FullRecompute: lr.Stats.FullRecompute,
+		}
+		for _, p := range lr.Pairs {
+			plr.Pairs = append(plr.Pairs, fromInternal(p))
+		}
+		out.PerLength = append(out.PerLength, plr)
+	}
+	out.Profile = res.MPMin.Dist
+	out.ProfileIndex = res.MPMin.Index
+	out.VALMAP = &VALMAP{
+		LMin: lmin, LMax: lmax,
+		MPn: res.VMap.MPn, IP: res.VMap.IP, LP: res.VMap.LP,
+		inner: res.VMap,
+	}
+	return out, nil
+}
+
+func fromInternal(p profile.MotifPair) MotifPair {
+	return MotifPair{A: p.A, B: p.B, Length: p.M, Distance: p.Dist, NormDistance: p.NormDist()}
+}
+
+func toInternal(p MotifPair) profile.MotifPair {
+	return profile.MotifPair{A: p.A, B: p.B, M: p.Length, Dist: p.Distance}
+}
+
+// OfLength returns the result for one length, or false when l is outside
+// the range.
+func (r *Result) OfLength(l int) (LengthResult, bool) {
+	i := l - r.LMin
+	if i < 0 || i >= len(r.PerLength) {
+		return LengthResult{}, false
+	}
+	return r.PerLength[i], true
+}
+
+// BestOverall returns the single best pair across all lengths under the
+// length-normalized distance, or false when no pair exists.
+func (r *Result) BestOverall() (MotifPair, bool) {
+	best := MotifPair{NormDistance: math.Inf(1)}
+	found := false
+	for _, lr := range r.PerLength {
+		for _, p := range lr.Pairs {
+			if p.NormDistance < best.NormDistance {
+				best = p
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// TopMotifs ranks all reported pairs across lengths by the length-
+// normalized distance, folding overlapping reports of the same discovery
+// (>50% interval overlap) together, and returns the k best.
+func (r *Result) TopMotifs(k int) []MotifPair {
+	var all []profile.MotifPair
+	for _, lr := range r.PerLength {
+		for _, p := range lr.Pairs {
+			all = append(all, toInternal(p))
+		}
+	}
+	ranked := rank.TopK(all, k, 0)
+	out := make([]MotifPair, len(ranked))
+	for i, p := range ranked {
+		out[i] = fromInternal(p)
+	}
+	return out
+}
+
+// MotifSet expands a pair into all its occurrences within radius (≤ 0
+// selects 2× the pair distance, floored for near-identical pairs). Members
+// are offset/distance pairs in ascending distance; the pair's own
+// subsequences come first.
+func (r *Result) MotifSet(p MotifPair, radius float64) ([]SetMember, error) {
+	set, err := motifset.Expand(r.values, toInternal(p), radius, r.excl)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	out := make([]SetMember, len(set.Members))
+	for i, m := range set.Members {
+		out[i] = SetMember{Offset: m.I, Distance: m.Dist}
+	}
+	return out, nil
+}
+
+// SetMember is one occurrence in a motif set.
+type SetMember struct {
+	Offset   int
+	Distance float64
+}
