@@ -180,6 +180,35 @@ func BenchmarkAblationRecomputeFraction(b *testing.B) {
 	}
 }
 
+// benchProcessLength runs VALMOD's variable-length phase at paper-shaped
+// scale (n=20k, [50, 400]) with the given worker count. The seedOnly
+// sub-benchmark isolates the mandatory ℓmin scan, so the variable-length
+// phase time is full − seedOnly; the serial/parallel ratio of that
+// difference is the processLength speedup. Outputs are identical at every
+// worker count (fixed block/shard grids), so only time changes.
+func benchProcessLength(b *testing.B, workers int) {
+	s := gen.ECG(20000, 1)
+	run := func(b *testing.B, lmax int) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			cfg := core.Config{LMin: 50, LMax: lmax, TopK: 10, Workers: workers}
+			if _, err := core.Run(s.Values, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("seedOnly", func(b *testing.B) { run(b, 50) })
+	b.Run("full", func(b *testing.B) { run(b, 400) })
+}
+
+// BenchmarkProcessLengthSerial is the Workers=1 baseline of the
+// variable-length phase.
+func BenchmarkProcessLengthSerial(b *testing.B) { benchProcessLength(b, 1) }
+
+// BenchmarkProcessLengthParallel runs the same workload with the
+// advance→certify pass sharded across 4 workers.
+func BenchmarkProcessLengthParallel(b *testing.B) { benchProcessLength(b, 4) }
+
 // BenchmarkAblationParallelSTOMP compares serial and goroutine-partitioned
 // STOMP at a fixed length.
 func BenchmarkAblationParallelSTOMP(b *testing.B) {

@@ -41,9 +41,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "dataset seed")
 		sizes   = flag.String("sizes", "5000,10000,20000,30000,50000", "series sizes for Figure 3 (bottom)")
 		ranges  = flag.String("ranges", "10,20,50,100,200", "length ranges for Figure 3 (top)")
+		workers = flag.Int("workers", 1, "goroutines for VALMOD's data-parallel phases in Figure 3 (default 1: the competitors are single-threaded, matching the paper's C implementations; output is identical at any setting)")
 	)
 	flag.Parse()
-	if err := run(*fig, *n, *lmin, *timeout, *seed, parseInts(*sizes), parseInts(*ranges)); err != nil {
+	if err := run(*fig, *n, *lmin, *timeout, *seed, parseInts(*sizes), parseInts(*ranges), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
 		os.Exit(1)
 	}
@@ -60,7 +61,7 @@ func parseInts(csv string) []int {
 	return out
 }
 
-func run(fig string, n, lmin int, timeout time.Duration, seed int64, sizes, ranges []int) error {
+func run(fig string, n, lmin int, timeout time.Duration, seed int64, sizes, ranges []int, workers int) error {
 	switch fig {
 	case "1left":
 		return fig1Left(seed)
@@ -69,16 +70,16 @@ func run(fig string, n, lmin int, timeout time.Duration, seed int64, sizes, rang
 	case "2":
 		return fig2(seed)
 	case "3top":
-		return fig3Top(n, lmin, timeout, seed, ranges)
+		return fig3Top(n, lmin, timeout, seed, ranges, workers)
 	case "3bottom":
-		return fig3Bottom(lmin, timeout, seed, sizes)
+		return fig3Bottom(lmin, timeout, seed, sizes, workers)
 	case "all":
 		for _, f := range []func() error{
 			func() error { return fig1Left(seed) },
 			func() error { return fig1Right(seed) },
 			func() error { return fig2(seed) },
-			func() error { return fig3Top(n, lmin, timeout, seed, ranges) },
-			func() error { return fig3Bottom(lmin, timeout, seed, sizes) },
+			func() error { return fig3Top(n, lmin, timeout, seed, ranges, workers) },
+			func() error { return fig3Bottom(lmin, timeout, seed, sizes, workers) },
 		} {
 			if err := f(); err != nil {
 				return err
@@ -243,13 +244,13 @@ type algo struct {
 
 // algos lists the comparative suite. Every algorithm reports the top motif
 // pair per length (MOEN and QUICKMOTIF produce exactly that; VALMOD and
-// STOMP are configured to match so the timed work is comparable).
-func algos() []algo {
+// STOMP are configured to match so the timed work is comparable). workers
+// parallelizes VALMOD only — the -workers flag documents the fairness
+// default of 1.
+func algos(workers int) []algo {
 	return []algo{
 		{"VALMOD", func(ctx context.Context, t []float64, lmin, lmax int) error {
-			// Workers: 1 keeps the comparison fair — the competitors are
-			// single-threaded, matching the paper's C implementations.
-			_, err := valmod.DiscoverContext(ctx, t, lmin, lmax, valmod.Options{TopK: 1, Workers: 1})
+			_, err := valmod.DiscoverContext(ctx, t, lmin, lmax, valmod.Options{TopK: 1, Workers: workers})
 			return err
 		}},
 		{"STOMP", func(ctx context.Context, t []float64, lmin, lmax int) error {
@@ -267,7 +268,7 @@ func algos() []algo {
 	}
 }
 
-func fig3Top(n, lmin int, timeout time.Duration, seed int64, ranges []int) error {
+func fig3Top(n, lmin int, timeout time.Duration, seed int64, ranges []int, workers int) error {
 	fmt.Printf("== Figure 3 (top): time vs length range (n=%d, lmin=%d, timeout=%s) ==\n", n, lmin, timeout)
 	for _, ds := range []string{"ecg", "astro"} {
 		s, err := gen.Dataset(ds, n, seed)
@@ -278,7 +279,7 @@ func fig3Top(n, lmin int, timeout time.Duration, seed int64, ranges []int) error
 		for _, rg := range ranges {
 			lmax := lmin + rg - 1
 			cells := []interface{}{rg}
-			for _, a := range algos() {
+			for _, a := range algos(workers) {
 				m := harness.Timed(timeout, func(ctx context.Context) error {
 					return a.run(ctx, s.Values, lmin, lmax)
 				})
@@ -294,7 +295,7 @@ func fig3Top(n, lmin int, timeout time.Duration, seed int64, ranges []int) error
 	return nil
 }
 
-func fig3Bottom(lmin int, timeout time.Duration, seed int64, sizes []int) error {
+func fig3Bottom(lmin int, timeout time.Duration, seed int64, sizes []int, workers int) error {
 	const rangeLen = 20
 	fmt.Printf("== Figure 3 (bottom): time vs series length (range=%d, lmin=%d, timeout=%s) ==\n", rangeLen, lmin, timeout)
 	for _, ds := range []string{"ecg", "astro"} {
@@ -305,7 +306,7 @@ func fig3Bottom(lmin int, timeout time.Duration, seed int64, sizes []int) error 
 				return err
 			}
 			cells := []interface{}{n}
-			for _, a := range algos() {
+			for _, a := range algos(workers) {
 				m := harness.Timed(timeout, func(ctx context.Context) error {
 					return a.run(ctx, s.Values, lmin, lmin+rangeLen-1)
 				})

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	valmod -in series.txt -lmin 50 -lmax 400 [-k 10] [-p 10] [-valmap out.json]
-//	valmod -dataset ecg -n 20000 -lmin 50 -lmax 400
+//	valmod -dataset ecg -n 20000 -lmin 50 -lmax 400 -workers 0 -progress
 package main
 
 import (
@@ -31,17 +31,21 @@ func main() {
 		lmax    = flag.Int("lmax", 400, "maximum subsequence length")
 		topK    = flag.Int("k", 10, "motif pairs per length")
 		p       = flag.Int("p", 10, "entries kept per partial distance profile")
+		workers = flag.Int("workers", 0, "goroutines for the data-parallel phases (0 = all cores, 1 = serial; output is identical at any setting)")
+		recomp  = flag.Float64("recompute-fraction", 0, "fraction of anchors above which a length is recomputed wholesale (0 selects the default 0.05)")
+		progr   = flag.Bool("progress", false, "report each completed length on stderr")
 		out     = flag.String("valmap", "", "write VALMAP JSON to this path")
 		quiet   = flag.Bool("quiet", false, "suppress plots, print only the summary")
 	)
 	flag.Parse()
-	if err := run(*in, *dataset, *n, *seed, *lmin, *lmax, *topK, *p, *out, *quiet); err != nil {
+	opts := valmod.Options{TopK: *topK, P: *p, Workers: *workers, RecomputeFraction: *recomp}
+	if err := run(*in, *dataset, *n, *seed, *lmin, *lmax, opts, *progr, *out, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "valmod:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, dataset string, n int, seed int64, lmin, lmax, topK, p int, out string, quiet bool) error {
+func run(in, dataset string, n int, seed int64, lmin, lmax int, opts valmod.Options, progress bool, out string, quiet bool) error {
 	var (
 		s   *series.Series
 		err error
@@ -63,9 +67,17 @@ func run(in, dataset string, n int, seed int64, lmin, lmax, topK, p int, out str
 		return err
 	}
 
-	fmt.Printf("series: %s, range [%d, %d], k=%d, p=%d\n", s, lmin, lmax, topK, p)
+	fmt.Printf("series: %s, range [%d, %d], k=%d, p=%d\n", s, lmin, lmax, opts.TopK, opts.P)
+	if progress {
+		opts.Progress = func(p valmod.Progress) {
+			lr := p.Result
+			fmt.Fprintf(os.Stderr, "  length %4d  (%d/%d)  pairs=%d cert=%d rec=%d full=%v\n",
+				lr.Length, p.Done, p.Total, len(lr.Pairs), lr.Certified, lr.Recomputed, lr.FullRecompute)
+		}
+	}
+	eng := valmod.NewEngine(opts)
 	start := time.Now()
-	res, err := valmod.Discover(s.Values, lmin, lmax, valmod.Options{TopK: topK, P: p})
+	res, err := eng.Discover(s.Values, lmin, lmax)
 	if err != nil {
 		return err
 	}
@@ -87,7 +99,7 @@ func run(in, dataset string, n int, seed int64, lmin, lmax, topK, p int, out str
 	}
 
 	fmt.Printf("\ntop motifs across lengths (length-normalized):\n")
-	for i, m := range res.TopMotifs(topK) {
+	for i, m := range res.TopMotifs(opts.TopK) {
 		fmt.Printf("  %2d. offsets %6d / %-6d length %4d  d=%.4f  dn=%.4f\n",
 			i+1, m.A, m.B, m.Length, m.Distance, m.NormDistance)
 	}

@@ -5,13 +5,14 @@ import (
 	"path/filepath"
 	"testing"
 
+	valmod "github.com/seriesmining/valmod"
 	"github.com/seriesmining/valmod/internal/valmap"
 )
 
 func TestRunWithDataset(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "vm.json")
-	if err := run("", "sinemix", 1500, 1, 32, 64, 3, 5, out, true); err != nil {
+	if err := run("", "sinemix", 1500, 1, 32, 64, valmod.Options{TopK: 3, P: 5}, false, out, true); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -41,25 +42,25 @@ func TestRunWithFile(t *testing.T) {
 	if err := os.WriteFile(in, content, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, "", 0, 1, 8, 16, 2, 3, "", true); err != nil {
+	if err := run(in, "", 0, 1, 8, 16, valmod.Options{TopK: 2, P: 3}, false, "", true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunArgumentValidation(t *testing.T) {
-	if err := run("", "", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+	if err := run("", "", 100, 1, 8, 16, valmod.Options{TopK: 1, P: 1}, false, "", true); err == nil {
 		t.Error("missing input should fail")
 	}
-	if err := run("x.txt", "ecg", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+	if err := run("x.txt", "ecg", 100, 1, 8, 16, valmod.Options{TopK: 1, P: 1}, false, "", true); err == nil {
 		t.Error("both -in and -dataset should fail")
 	}
-	if err := run("", "nope", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+	if err := run("", "nope", 100, 1, 8, 16, valmod.Options{TopK: 1, P: 1}, false, "", true); err == nil {
 		t.Error("unknown dataset should fail")
 	}
-	if err := run("/nonexistent.txt", "", 100, 1, 8, 16, 1, 1, "", true); err == nil {
+	if err := run("/nonexistent.txt", "", 100, 1, 8, 16, valmod.Options{TopK: 1, P: 1}, false, "", true); err == nil {
 		t.Error("missing file should fail")
 	}
-	if err := run("", "ecg", 100, 1, 80, 16, 1, 1, "", true); err == nil {
+	if err := run("", "ecg", 100, 1, 80, 16, valmod.Options{TopK: 1, P: 1}, false, "", true); err == nil {
 		t.Error("inverted range should fail")
 	}
 }

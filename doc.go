@@ -16,6 +16,15 @@
 //	fmt.Printf("motif: offsets %d and %d, length %d, distance %.3f\n",
 //		best.A, best.B, best.Length, best.Distance)
 //
+// For repeated discoveries, NewEngine builds a reusable pipeline that
+// pools its scratch across runs and reports per-length progress:
+//
+//	eng := valmod.NewEngine(valmod.Options{
+//		Workers:  0, // all cores; output identical at any worker count
+//		Progress: func(p valmod.Progress) { log.Printf("%d/%d", p.Done, p.Total) },
+//	})
+//	res, err := eng.Discover(values, 50, 400)
+//
 // Fixed-length helpers (MatrixProfile, DistanceProfile) expose the
 // substrate directly, and ExpandMotifSet grows any discovered pair into the
 // full set of its occurrences.

@@ -1,0 +1,3 @@
+module github.com/seriesmining/valmod
+
+go 1.22

@@ -1,0 +1,106 @@
+package quickmotif
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/baseline"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+func randWalk(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	v := 0.0
+	for i := range x {
+		v += rng.NormFloat64()
+		x[i] = v
+	}
+	return x
+}
+
+func sineMix(n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		f := float64(i)
+		x[i] = math.Sin(f*0.21) + 0.5*math.Sin(f*0.043) + 0.2*math.Sin(f*0.009)
+	}
+	return x
+}
+
+func assertAgreesWithBrute(t *testing.T, x []float64, out []baseline.LengthResult, lmin int) {
+	t.Helper()
+	for i, lr := range out {
+		m := lmin + i
+		if lr.M != m {
+			t.Fatalf("result %d has length %d, want %d", i, lr.M, m)
+		}
+		mp, err := stomp.Brute(x, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mp.TopKPairs(1)
+		got, ok := lr.Best()
+		if len(want) == 0 {
+			if ok {
+				t.Fatalf("m=%d: got %v, brute found no pair", m, got)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("m=%d: no pair, brute found %v", m, want[0])
+		}
+		if math.Abs(got.Dist-want[0].Dist) > 1e-6*(1+want[0].Dist) {
+			t.Fatalf("m=%d: dist %g, brute %g (got %v, want %v)", m, got.Dist, want[0].Dist, got, want[0])
+		}
+	}
+}
+
+func TestAgreesWithBruteOnRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randWalk(rng, 260)
+	out, err := Run(context.Background(), x, Config{LMin: 8, LMax: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 24-8+1 {
+		t.Fatalf("%d lengths", len(out))
+	}
+	assertAgreesWithBrute(t, x, out, 8)
+}
+
+func TestAgreesWithBruteOnStructuredData(t *testing.T) {
+	x := sineMix(300)
+	out, err := Run(context.Background(), x, Config{LMin: 10, LMax: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAgreesWithBrute(t, x, out, 10)
+}
+
+func TestAgreesWithBruteCoarseSketch(t *testing.T) {
+	// A tiny sketch and blocks degrade the bounds, never exactness.
+	rng := rand.New(rand.NewSource(22))
+	x := randWalk(rng, 200)
+	out, err := Run(context.Background(), x, Config{LMin: 8, LMax: 16, PAASize: 2, BlockSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertAgreesWithBrute(t, x, out, 8)
+}
+
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := randWalk(rng, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Run(ctx, x, Config{LMin: 8, LMax: 32})
+	if !errors.Is(err, baseline.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("%d lengths completed under a pre-canceled context", len(out))
+	}
+}

@@ -1,0 +1,91 @@
+package stomprange
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/baseline"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+func randWalk(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	v := 0.0
+	for i := range x {
+		v += rng.NormFloat64()
+		x[i] = v
+	}
+	return x
+}
+
+func TestAgreesWithBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	x := randWalk(rng, 260)
+	out, err := Run(context.Background(), x, Config{LMin: 8, LMax: 24, TopK: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 24-8+1 {
+		t.Fatalf("%d lengths", len(out))
+	}
+	for i, lr := range out {
+		m := 8 + i
+		if lr.M != m {
+			t.Fatalf("result %d has length %d, want %d", i, lr.M, m)
+		}
+		mp, err := stomp.Brute(x, m, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := mp.TopKPairs(3)
+		if len(lr.Pairs) != len(want) {
+			t.Fatalf("m=%d: %d pairs, brute %d", m, len(lr.Pairs), len(want))
+		}
+		for pi := range want {
+			if math.Abs(lr.Pairs[pi].Dist-want[pi].Dist) > 1e-6*(1+want[pi].Dist) {
+				t.Fatalf("m=%d pair %d: dist %g, brute %g", m, pi, lr.Pairs[pi].Dist, want[pi].Dist)
+			}
+		}
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	x := randWalk(rng, 300)
+	serial, err := Run(context.Background(), x, Config{LMin: 8, LMax: 20, TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), x, Config{LMin: 8, LMax: 20, TopK: 2, Parallel: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if len(a.Pairs) != len(b.Pairs) {
+			t.Fatalf("m=%d: %d pairs vs %d", a.M, len(a.Pairs), len(b.Pairs))
+		}
+		for pi := range a.Pairs {
+			if math.Abs(a.Pairs[pi].Dist-b.Pairs[pi].Dist) > 1e-9*(1+a.Pairs[pi].Dist) {
+				t.Fatalf("m=%d pair %d: %v vs %v", a.M, pi, a.Pairs[pi], b.Pairs[pi])
+			}
+		}
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	x := randWalk(rng, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Run(ctx, x, Config{LMin: 8, LMax: 32})
+	if !errors.Is(err, baseline.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("%d lengths completed under a pre-canceled context", len(out))
+	}
+}

@@ -1,0 +1,147 @@
+// Package anchors holds the per-anchor state of a VALMOD run: one partial
+// distance profile per subsequence offset (the retained lower-bound entries
+// of demo Figure 2a) plus the hot-row cache for anchors that keep failing
+// certification. The Store partitions its anchors into contiguous shards so
+// the per-length advance→certify pass can run one shard per goroutine:
+// every anchor owns its state and its slots of the engine's scratch arrays
+// exclusively, which keeps the parallel pass bit-identical to the serial
+// one regardless of the shard-to-worker assignment.
+package anchors
+
+import "github.com/seriesmining/valmod/internal/lb"
+
+// State is the partial distance profile of one anchor.
+type State struct {
+	// Entries are the retained candidates, at most P, kept as a min-heap
+	// on q̃² (see lb.Heapify).
+	Entries []lb.Entry
+	// Base is the length at which Entries and their q̃ were (re)seeded.
+	Base int32
+	// NextQ2 is the q̃² of the best candidate NOT retained (the (p+1)-th
+	// largest at seed time): every unkept candidate has q̃² ≤ NextQ2, so
+	// Bound(√NextQ2) lower-bounds all of them — a strictly tighter
+	// certification threshold than bounding via the worst kept entry.
+	// Negative when every candidate was retained (nothing to bound:
+	// maxLB = +Inf).
+	NextQ2 float64
+	// Degenerate marks a constant anchor window at the seed length, for
+	// which no lower bound is available (maxLB = 0).
+	Degenerate bool
+}
+
+// Store owns the anchor states of one run plus the hot-row cache. Hot rows
+// are kept in flat slices indexed by anchor offset (not a map) so that
+// concurrent shard workers can advance distinct anchors' rows without
+// synchronization; retention (MakeHot) happens only on the serial
+// recompute path.
+type Store struct {
+	states []State
+
+	// hotRows[i] is anchor i's cached full dot-product row (nil when the
+	// anchor is not hot); hotLens[i] the length the row is currently at.
+	hotRows  [][]float64
+	hotLens  []int32
+	hotCount int
+	budget   int
+}
+
+// NewStore returns a store for n anchors whose hot-row cache is bounded by
+// budgetBytes of row storage (at least 32 rows).
+func NewStore(n, budgetBytes int) *Store {
+	budget := 0
+	if n > 0 {
+		budget = budgetBytes / (8 * n)
+	}
+	if budget < 32 {
+		budget = 32
+	}
+	return &Store{
+		states:  make([]State, n),
+		hotRows: make([][]float64, n),
+		hotLens: make([]int32, n),
+		budget:  budget,
+	}
+}
+
+// Len returns the number of anchors.
+func (s *Store) Len() int { return len(s.states) }
+
+// At returns anchor i's state for in-place mutation.
+func (s *Store) At(i int) *State { return &s.states[i] }
+
+// BeginReseed prepares anchor i for a fresh top-p selection at base length
+// l and returns its state: entries emptied (capacity p), bound fields
+// reset. The caller fills Entries and NextQ2 (the fused scan in core does
+// this inline for speed).
+func (s *Store) BeginReseed(i, p, l int) *State {
+	a := &s.states[i]
+	if cap(a.Entries) < p {
+		a.Entries = make([]lb.Entry, 0, p)
+	}
+	a.Entries = a.Entries[:0]
+	a.Base = int32(l)
+	a.Degenerate = false
+	a.NextQ2 = -1
+	return a
+}
+
+// HotRow returns anchor i's cached dot-product row and the length it is
+// currently advanced to, or ok=false when the anchor is not hot.
+func (s *Store) HotRow(i int) (row []float64, l int, ok bool) {
+	row = s.hotRows[i]
+	if row == nil {
+		return nil, 0, false
+	}
+	return row, int(s.hotLens[i]), true
+}
+
+// SetHotLen records that anchor i's cached row has been advanced to length
+// l. Distinct anchors may be updated concurrently.
+func (s *Store) SetHotLen(i, l int) { s.hotLens[i] = int32(l) }
+
+// MakeHot caches row (already advanced to length l) for anchor i and
+// reports whether the store retained it; false when the anchor is already
+// hot or the budget is exhausted, in which case the caller keeps ownership
+// of row. Serial use only.
+func (s *Store) MakeHot(i int, row []float64, l int) bool {
+	if s.hotRows[i] != nil || s.hotCount >= s.budget {
+		return false
+	}
+	s.hotRows[i] = row
+	s.hotLens[i] = int32(l)
+	s.hotCount++
+	return true
+}
+
+// HotCount returns the number of cached rows; Budget the cap.
+func (s *Store) HotCount() int { return s.hotCount }
+
+// Budget returns the maximum number of rows the cache may hold.
+func (s *Store) Budget() int { return s.budget }
+
+// Shard is a contiguous anchor range [Lo, Hi).
+type Shard struct{ Lo, Hi int }
+
+// Shards partitions the first n anchors (n ≤ Len) into count near-equal
+// contiguous ranges. The boundaries depend only on n and count — never on
+// which worker processes which shard — so any schedule over the shards
+// computes identical results.
+func (s *Store) Shards(n, count int) []Shard {
+	if n > len(s.states) {
+		n = len(s.states)
+	}
+	if count > n {
+		count = n
+	}
+	if count < 1 {
+		count = 1
+	}
+	out := make([]Shard, 0, count)
+	for w := 0; w < count; w++ {
+		lo, hi := w*n/count, (w+1)*n/count
+		if lo < hi {
+			out = append(out, Shard{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}

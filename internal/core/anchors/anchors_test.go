@@ -1,0 +1,101 @@
+package anchors
+
+import (
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/lb"
+)
+
+func TestBeginReseedResetsState(t *testing.T) {
+	s := NewStore(4, 1<<20)
+	a := s.At(2)
+	a.Entries = append(a.Entries, lb.Entry{J: 9})
+	a.Degenerate = true
+	a.NextQ2 = 7
+
+	a = s.BeginReseed(2, 3, 17)
+	if len(a.Entries) != 0 || cap(a.Entries) < 3 {
+		t.Fatalf("entries len=%d cap=%d, want empty with cap >= 3", len(a.Entries), cap(a.Entries))
+	}
+	if a.Base != 17 || a.Degenerate || a.NextQ2 >= 0 {
+		t.Fatalf("state not reset: %+v", *a)
+	}
+}
+
+func TestHotRowLifecycle(t *testing.T) {
+	s := NewStore(100, 1<<20)
+	if _, _, ok := s.HotRow(5); ok {
+		t.Fatal("anchor 5 should not start hot")
+	}
+	row := make([]float64, 10)
+	if !s.MakeHot(5, row, 32) {
+		t.Fatal("MakeHot should retain the first row")
+	}
+	if s.MakeHot(5, make([]float64, 10), 33) {
+		t.Fatal("MakeHot must decline an already-hot anchor")
+	}
+	got, l, ok := s.HotRow(5)
+	if !ok || l != 32 || &got[0] != &row[0] {
+		t.Fatalf("HotRow = (%p, %d, %v), want original row at 32", got, l, ok)
+	}
+	s.SetHotLen(5, 40)
+	if _, l, _ := s.HotRow(5); l != 40 {
+		t.Fatalf("hot length %d after SetHotLen, want 40", l)
+	}
+	if s.HotCount() != 1 {
+		t.Fatalf("HotCount = %d", s.HotCount())
+	}
+}
+
+func TestHotBudgetEnforced(t *testing.T) {
+	// budgetBytes sized for exactly 40 rows of 100 anchors — below the
+	// 32-row floor this would clamp, so pick above it.
+	s := NewStore(100, 40*8*100)
+	if got := s.Budget(); got != 40 {
+		t.Fatalf("budget = %d, want 40", got)
+	}
+	retained := 0
+	for i := 0; i < 100; i++ {
+		if s.MakeHot(i, make([]float64, 1), 8) {
+			retained++
+		}
+	}
+	if retained != 40 || s.HotCount() != 40 {
+		t.Fatalf("retained %d rows (count %d), want 40", retained, s.HotCount())
+	}
+}
+
+func TestBudgetFloor(t *testing.T) {
+	if s := NewStore(1000, 0); s.Budget() != 32 {
+		t.Fatalf("budget floor = %d, want 32", s.Budget())
+	}
+}
+
+func TestShardsPartition(t *testing.T) {
+	s := NewStore(1000, 1<<20)
+	for _, tc := range []struct{ n, count int }{
+		{1000, 4}, {1000, 7}, {1000, 1}, {3, 8}, {1000, 1000}, {0, 4}, {2000, 3},
+	} {
+		shards := s.Shards(tc.n, tc.count)
+		n := tc.n
+		if n > s.Len() {
+			n = s.Len()
+		}
+		pos := 0
+		for _, sh := range shards {
+			if sh.Lo != pos {
+				t.Fatalf("n=%d count=%d: gap at %d (shard starts %d)", tc.n, tc.count, pos, sh.Lo)
+			}
+			if sh.Hi <= sh.Lo {
+				t.Fatalf("n=%d count=%d: empty shard %+v", tc.n, tc.count, sh)
+			}
+			pos = sh.Hi
+		}
+		if n > 0 && pos != n {
+			t.Fatalf("n=%d count=%d: shards cover [0,%d), want [0,%d)", tc.n, tc.count, pos, n)
+		}
+		if len(shards) > tc.count && tc.count >= 1 {
+			t.Fatalf("n=%d count=%d: %d shards", tc.n, tc.count, len(shards))
+		}
+	}
+}

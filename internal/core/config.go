@@ -1,0 +1,115 @@
+// Package core implements VALMOD (Variable-Length Motif Discovery), the
+// paper's primary contribution: exact top-k motif pairs for every
+// subsequence length in [ℓmin, ℓmax], at a fraction of the cost of running
+// a fixed-length algorithm per length.
+//
+// The algorithm follows the demo paper §2 exactly:
+//
+//  1. Compute the matrix profile at ℓmin with STOMP-style row recurrences.
+//     While each distance-profile row is in memory, retain the p entries
+//     with the smallest lower-bounding distance (internal/lb; rank
+//     preservation makes this the p largest q̃²) — the "partial distance
+//     profiles".
+//  2. For each longer length, advance each retained entry's dot product in
+//     O(1), recompute its exact distance, and compare the anchor's best
+//     exact distance (minDist) against the bound covering every
+//     non-retained candidate (maxLB). minDist ≤ maxLB certifies the anchor:
+//     its matrix-profile value at this length is exact (a "valid partial
+//     distance profile", Figure 2b top). Otherwise the anchor is non-valid
+//     (Figure 2b bottom).
+//  3. minLBAbs — the smallest maxLB among non-valid anchors — certifies the
+//     extracted top-k pairs; anchors that could still hide better matches
+//     (maxLB below the current k-th best distance) get their distance
+//     profile recomputed with MASS and their partial profile reseeded.
+//     When too many anchors need recomputing, fall back to one full
+//     STOMP pass at that length and reseed everything.
+//
+// The implementation is structured as a pipeline around a reusable Engine:
+// config.go (parameters), engine.go (Engine, pooled scratch, the per-run
+// orchestration), seed.go (the ℓmin seed / full-recompute block scan),
+// length.go (the per-length advance→certify→recompute loop), result.go
+// (outputs), with the per-anchor state in internal/core/anchors.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/seriesmining/valmod/internal/profile"
+)
+
+// Default parameter values; see Config.
+const (
+	DefaultTopK = 10
+	DefaultP    = 10
+	// DefaultRecomputeFraction: one MASS recompute costs Θ(n log n), a full
+	// STOMP pass Θ(s²) — but the full pass also reseeds every partial
+	// profile with tight bounds at the current length, so the breakeven
+	// sits near s/log n ≈ 5% of anchors, not 25%.
+	DefaultRecomputeFraction = 0.05
+)
+
+// ErrBadConfig is returned when the configuration is inconsistent with the
+// series.
+var ErrBadConfig = errors.New("core: bad config")
+
+// Config parameterizes a VALMOD run.
+type Config struct {
+	// LMin, LMax bound the subsequence lengths (inclusive).
+	LMin, LMax int
+	// TopK is the number of motif pairs reported per length (default 10).
+	TopK int
+	// P is the number of entries retained per partial distance profile
+	// (default 10). Larger P certifies more anchors per length at the cost
+	// of memory and per-length work.
+	P int
+	// ExclusionFactor sets the trivial-match zone ⌈ℓ/factor⌉ (default 4).
+	ExclusionFactor int
+	// RecomputeFraction is the fraction of anchors above which a full
+	// per-length STOMP recompute replaces individual MASS recomputes
+	// (default 0.05; see DefaultRecomputeFraction for the cost model).
+	RecomputeFraction float64
+	// DisablePruning forces a full recompute at every length — the
+	// lower-bound ablation. The output is identical; only time changes.
+	DisablePruning bool
+	// Workers bounds the goroutines used by the data-parallel phases: the
+	// ℓmin seed, full-recompute fallbacks, and the per-length
+	// advance→certify pass over anchor shards. 0 selects GOMAXPROCS;
+	// 1 runs serially. Both phases are partitioned on fixed grids that do
+	// not depend on the worker count, so the output is bit-identical at
+	// every setting.
+	Workers int
+	// OnLength, when non-nil, receives a Progress notification after each
+	// completed length (ℓmin included), in increasing-length order, on the
+	// goroutine running the engine. A slow callback slows the run; the run
+	// still honors context cancellation between lengths.
+	OnLength func(Progress)
+}
+
+func (c *Config) fill() {
+	if c.TopK <= 0 {
+		c.TopK = DefaultTopK
+	}
+	if c.P <= 0 {
+		c.P = DefaultP
+	}
+	if c.ExclusionFactor <= 0 {
+		c.ExclusionFactor = profile.DefaultExclusionFactor
+	}
+	if c.RecomputeFraction <= 0 || c.RecomputeFraction > 1 {
+		c.RecomputeFraction = DefaultRecomputeFraction
+	}
+}
+
+func (c Config) validate(n int) error {
+	if c.LMin < 4 {
+		return fmt.Errorf("%w: LMin=%d, need >= 4", ErrBadConfig, c.LMin)
+	}
+	if c.LMax < c.LMin {
+		return fmt.Errorf("%w: LMax=%d < LMin=%d", ErrBadConfig, c.LMax, c.LMin)
+	}
+	if c.LMax > n {
+		return fmt.Errorf("%w: LMax=%d > series length %d", ErrBadConfig, c.LMax, n)
+	}
+	return nil
+}

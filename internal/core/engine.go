@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"github.com/seriesmining/valmod/internal/core/anchors"
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/series"
+	"github.com/seriesmining/valmod/internal/valmap"
+)
+
+// Engine is a reusable VALMOD pipeline. It owns the pooled scratch rows
+// (the MASS/STOMP dot-product row buffers of the recompute paths and the
+// seed workers; the FFT correlator scratch is pooled inside internal/fft)
+// so repeated runs stop re-allocating. An Engine is safe for concurrent
+// Run calls; per-run state lives in the run struct.
+type Engine struct {
+	rowPool sync.Pool // stores *[]float64, capacity re-checked on Get
+}
+
+// NewEngine returns an Engine with empty pools.
+func NewEngine() *Engine { return &Engine{} }
+
+// defaultEngine backs the package-level Run/RunContext helpers so one-shot
+// callers still share pooled scratch process-wide.
+var defaultEngine = NewEngine()
+
+// Run executes VALMOD over t and returns the exact per-length top-k motif
+// pairs and the VALMAP.
+func Run(t []float64, cfg Config) (*Result, error) {
+	return defaultEngine.Run(context.Background(), t, cfg)
+}
+
+// RunContext is Run with cooperative cancellation, checked between lengths
+// (the granularity the benchmark harness's wall-clock budgets need). On
+// cancellation it returns ctx.Err().
+func RunContext(ctx context.Context, t []float64, cfg Config) (*Result, error) {
+	return defaultEngine.Run(ctx, t, cfg)
+}
+
+func (e *Engine) getRow(n int) []float64 {
+	if v := e.rowPool.Get(); v != nil {
+		if row := *(v.(*[]float64)); cap(row) >= n {
+			return row[:n]
+		}
+	}
+	return make([]float64, n)
+}
+
+func (e *Engine) putRow(row []float64) {
+	e.rowPool.Put(&row)
+}
+
+// run carries the mutable state of one VALMOD execution.
+type run struct {
+	eng     *Engine
+	t       []float64
+	st      *series.Stats
+	cfg     Config
+	sMin    int
+	workers int
+	store   *anchors.Store
+	vmap    *valmap.VALMAP
+
+	// scratch per length
+	dists   []float64 // best retained pair distance per anchor
+	indexes []int
+	maxLBs  []float64
+	cert    []bool
+
+	// corr amortizes the series-side FFT across every recompute query.
+	corr *fft.Correlator
+
+	// cached sliding moments of the current working length; invStds[j] is
+	// 1/σ_j (0 for degenerate windows) so the hot loops run division-free
+	momentsL             int
+	means, stds, invStds []float64
+	rowQT                []float64 // scratch dot-product row for run scans
+}
+
+// momentsAt fills the cached sliding mean/σ/1÷σ arrays for length l (O(s)
+// via the cumulative sums, shared by every anchor at that length).
+func (r *run) momentsAt(l int) {
+	if r.momentsL == l {
+		return
+	}
+	s := len(r.t) - l + 1
+	if cap(r.means) < s {
+		r.means = make([]float64, s)
+		r.stds = make([]float64, s)
+		r.invStds = make([]float64, s)
+	}
+	r.means = r.means[:s]
+	r.stds = r.stds[:s]
+	r.invStds = r.invStds[:s]
+	for i := 0; i < s; i++ {
+		mu, sd := r.st.MeanStd(i, l)
+		r.means[i], r.stds[i] = mu, sd
+		if sd > 0 {
+			r.invStds[i] = 1 / sd
+		} else {
+			r.invStds[i] = 0
+		}
+	}
+	r.momentsL = l
+}
+
+// Run executes one VALMOD discovery over t. The pipeline: validate →
+// seed ℓmin (block-parallel STOMP scan, partial profiles retained) →
+// for each longer length, advance→certify across anchor shards, then
+// recompute the uncertified stragglers to a fixpoint. Progress is emitted
+// after every completed length when cfg.OnLength is set.
+func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, error) {
+	cfg.fill()
+	if err := cfg.validate(len(t)); err != nil {
+		return nil, err
+	}
+	n := len(t)
+	sMin := n - cfg.LMin + 1
+	vm, err := valmap.New(cfg.LMin, cfg.LMax, sMin)
+	if err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	r := &run{
+		eng:     e,
+		t:       t,
+		st:      series.NewStats(t),
+		cfg:     cfg,
+		sMin:    sMin,
+		workers: workers,
+		store:   anchors.NewStore(sMin, hotRowBudgetBytes),
+		vmap:    vm,
+		dists:   make([]float64, sMin),
+		indexes: make([]int, sMin),
+		maxLBs:  make([]float64, sMin),
+		cert:    make([]bool, sMin),
+		corr:    fft.NewCorrelator(t, cfg.LMax),
+	}
+	defer r.corr.Release()
+
+	res := &Result{N: n, Cfg: cfg, VMap: vm}
+	total := cfg.LMax - cfg.LMin + 1
+	emit := func(lr LengthResult, done int) {
+		if cfg.OnLength != nil {
+			cfg.OnLength(Progress{Done: done, Total: total, Result: lr})
+		}
+	}
+
+	// Phase 1: exact matrix profile at ℓmin + initial partial profiles.
+	mpMin, err := r.seedAll(cfg.LMin)
+	if err != nil {
+		return nil, err
+	}
+	res.MPMin = mpMin
+	first := LengthResult{M: cfg.LMin, Pairs: mpMin.TopKPairs(cfg.TopK)}
+	first.Stats.FullRecompute = true
+	res.PerLength = append(res.PerLength, first)
+
+	// VALMAP starts as the length-normalized ℓmin profile (flat LP).
+	for i := 0; i < sMin; i++ {
+		if mpMin.Index[i] >= 0 {
+			vm.InitFromProfile(i, series.LengthNormalize(mpMin.Dist[i], cfg.LMin), mpMin.Index[i], cfg.LMin)
+		}
+	}
+	vm.Seal()
+	emit(first, 1)
+
+	// Phase 2: longer lengths.
+	for l := cfg.LMin + 1; l <= cfg.LMax; l++ {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		lr, err := r.processLength(l)
+		if err != nil {
+			return nil, err
+		}
+		vm.BeginLength(l)
+		for _, p := range lr.Pairs {
+			nd := p.NormDist()
+			vm.Apply(p.A, nd, p.B, l)
+			vm.Apply(p.B, nd, p.A, l)
+		}
+		vm.EndLength()
+		res.PerLength = append(res.PerLength, lr)
+		emit(lr, l-cfg.LMin+1)
+	}
+	return res, nil
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/valmap"
+)
+
+// LengthStats instruments one length of the run for the ablation benches.
+type LengthStats struct {
+	// Certified counts anchors whose profile value was certified by the
+	// lower bound alone.
+	Certified int
+	// Recomputed counts anchors individually recomputed with MASS.
+	Recomputed int
+	// FullRecompute reports a whole-length STOMP fallback.
+	FullRecompute bool
+}
+
+// LengthResult carries the exact output of one subsequence length.
+type LengthResult struct {
+	// M is the subsequence length.
+	M int
+	// Pairs are the exact top-k motif pairs, ascending distance.
+	Pairs []profile.MotifPair
+	// Stats instruments how the length was resolved.
+	Stats LengthStats
+}
+
+// Best returns the best pair and true, or a zero pair and false when the
+// length admits no pair.
+func (lr LengthResult) Best() (profile.MotifPair, bool) {
+	if len(lr.Pairs) == 0 {
+		return profile.MotifPair{}, false
+	}
+	return lr.Pairs[0], true
+}
+
+// StatsTag renders a short diagnostic label ("m=32 cert=412 rec=3 full=false")
+// used by tests and verbose logs.
+func (lr LengthResult) StatsTag() string {
+	return fmt.Sprintf("m=%d cert=%d rec=%d full=%v",
+		lr.M, lr.Stats.Certified, lr.Stats.Recomputed, lr.Stats.FullRecompute)
+}
+
+// Progress is delivered to Config.OnLength after a length completes.
+type Progress struct {
+	// Done counts completed lengths (this one included); Total is the
+	// number of lengths the run will process (LMax − LMin + 1).
+	Done, Total int
+	// Result is the completed length's exact result.
+	Result LengthResult
+}
+
+// Result is a completed VALMOD run.
+type Result struct {
+	// N is the input series length.
+	N int
+	// Cfg echoes the effective configuration (defaults filled in).
+	Cfg Config
+	// MPMin is the exact matrix profile at ℓmin (demo Figure 1b-c).
+	MPMin *profile.MatrixProfile
+	// PerLength holds one entry per length, ℓmin first.
+	PerLength []LengthResult
+	// VMap is the VALMAP meta structure (demo Figure 1e-f).
+	VMap *valmap.VALMAP
+}
+
+// GlobalBest returns the best motif pair across all lengths under the
+// length-normalized distance, or false when no length produced a pair.
+func (r *Result) GlobalBest() (profile.MotifPair, bool) {
+	best := profile.MotifPair{Dist: math.Inf(1)}
+	found := false
+	bestNorm := math.Inf(1)
+	for _, lr := range r.PerLength {
+		for _, p := range lr.Pairs {
+			if nd := p.NormDist(); nd < bestNorm {
+				bestNorm = nd
+				best = p
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// ResultOfLength returns the LengthResult for m, or false.
+func (r *Result) ResultOfLength(m int) (LengthResult, bool) {
+	i := m - r.Cfg.LMin
+	if i < 0 || i >= len(r.PerLength) {
+		return LengthResult{}, false
+	}
+	return r.PerLength[i], true
+}
+
+// Summary aggregates the per-length instrumentation of a run.
+type Summary struct {
+	// Lengths is the number of lengths processed (LMax − LMin + 1).
+	Lengths int
+	// CertifiedAnchors sums anchors certified by the lower bound alone.
+	CertifiedAnchors int
+	// RecomputedAnchors sums anchors individually recomputed with MASS.
+	RecomputedAnchors int
+	// FullRecomputes counts lengths resolved by a whole STOMP pass
+	// (including the mandatory one at ℓmin).
+	FullRecomputes int
+}
+
+// Summary aggregates stats across the whole run.
+func (r *Result) Summary() Summary {
+	s := Summary{Lengths: len(r.PerLength)}
+	for _, lr := range r.PerLength {
+		s.CertifiedAnchors += lr.Stats.Certified
+		s.RecomputedAnchors += lr.Stats.Recomputed
+		if lr.Stats.FullRecompute {
+			s.FullRecomputes++
+		}
+	}
+	return s
+}

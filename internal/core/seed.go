@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/lb"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/series"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+// seedBlockRows is the fixed height of the block grid the seed scan is
+// partitioned on. The grid depends only on the anchor count — never on the
+// worker count: each block seeds its first dot-product row with one FFT and
+// streams the rest via the STOMP recurrence, so a block computes the same
+// values whether blocks run serially or concurrently. Workers changes
+// wall-clock time, never output.
+const seedBlockRows = 512
+
+// seedAll computes the exact matrix profile at length l and reseeds every
+// anchor's partial profile with base l. Rows are independent; blocks of the
+// fixed grid are handed to up to Workers goroutines, each with a cloned
+// correlator and a pooled row buffer.
+func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
+	n := len(r.t)
+	s := n - l + 1
+	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
+	mp := profile.New(l, excl, s)
+	if err := stomp.ValidateLength(n, l); err != nil {
+		return nil, err
+	}
+	r.momentsAt(l)
+	nBlocks := (s + seedBlockRows - 1) / seedBlockRows
+	workers := r.workers
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	if workers <= 1 {
+		if cap(r.rowQT) < s {
+			r.rowQT = make([]float64, s)
+		}
+		for b := 0; b < nBlocks; b++ {
+			lo, hi := blockBounds(b, s)
+			r.processRunWith(lo, hi-lo, l, excl, s, mp, r.corr, r.rowQT[:s])
+		}
+		return mp, nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			corr := r.corr.Clone()
+			defer corr.Release()
+			row := r.eng.getRow(s)
+			defer r.eng.putRow(row)
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				lo, hi := blockBounds(b, s)
+				r.processRunWith(lo, hi-lo, l, excl, s, mp, corr, row)
+			}
+		}()
+	}
+	wg.Wait()
+	return mp, nil
+}
+
+// blockBounds returns the anchor range [lo, hi) of seed block b.
+func blockBounds(b, s int) (lo, hi int) {
+	lo = b * seedBlockRows
+	hi = lo + seedBlockRows
+	if hi > s {
+		hi = s
+	}
+	return lo, hi
+}
+
+// processRunWith resolves the contiguous anchors [i0, i0+count) exactly at
+// length l: one FFT seeds the dot-product row of i0, each following row
+// costs O(s) via the STOMP recurrence, and a single fused pass per row
+// finds the exact profile minimum (division-free correlation compare) and
+// reseeds the anchor's partial profile. It writes exact values into mp.
+// The correlator and row buffer are caller-owned, enabling concurrent
+// block scans; the moment cache must already be at l.
+func (r *run) processRunWith(i0, count, l, excl, s int, mp *profile.MatrixProfile, corr *fft.Correlator, rowBuf []float64) {
+	t := r.t
+	row := corr.Dots(t[i0:i0+l], rowBuf)
+	for i := i0; i < i0+count; i++ {
+		if i > i0 {
+			// Row recurrence, descending j so row[j-1] is still row i−1.
+			tail := t[i+l-1]
+			head := t[i-1]
+			for j := s - 1; j >= 1; j-- {
+				row[j] = row[j-1] + tail*t[j+l-1] - head*t[j-1]
+			}
+			row[0] = series.Dot(t[i:i+l], t[0:l])
+		}
+		r.scanRow(i, l, excl, s, row, mp)
+	}
+}
+
+// scanRow is the fused per-row pass: exact nearest neighbor of anchor i at
+// length l (outside the exclusion zone) plus the partial-profile reseed
+// (top-p candidates by q̃²). The moment cache must be filled for l. Each
+// anchor touches only its own state, so rows may be scanned concurrently.
+func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
+	p := r.cfg.P
+	means, invs := r.means, r.invStds
+	fl := float64(l)
+	sumA := r.st.Sum(i, l)
+	muA := means[i]
+	invA := invs[i]
+
+	a := r.store.BeginReseed(i, p, l)
+
+	// Degenerate anchor: the fused correlation math is undefined; fall back
+	// to the convention-aware scalar path for this (rare) row.
+	if invA == 0 {
+		for j := 0; j < s; j++ {
+			if j > i-excl && j < i+excl {
+				continue
+			}
+			d := series.DistFromDot(row[j], fl, muA, 0, means[j], r.stds[j])
+			mp.Update(i, d, j)
+		}
+		a.Degenerate = true
+		return
+	}
+
+	bestCorr := math.Inf(-1)
+	bestJ := -1
+	heapMinQ2 := math.Inf(-1) // q̃² of the heap root once the heap is full
+	bestRejQ2 := -1.0         // best q̃² among rejected/evicted candidates
+	lo, hi := i-excl, i+excl  // exclusion interval (exclusive bounds)
+	for j := 0; j < s; j++ {
+		if j > lo && j < hi {
+			continue // trivial at this and every longer length
+		}
+		qtj := row[j]
+		q := (qtj - means[j]*sumA) * invs[j] // q̃ (0 for degenerate candidate)
+		q2 := q * q
+		if len(a.Entries) < p {
+			a.Entries = append(a.Entries, lb.Entry{J: int32(j), QT: qtj, QTilde: q})
+			if len(a.Entries) == p {
+				lb.Heapify(a.Entries)
+				q0 := a.Entries[0].QTilde
+				heapMinQ2 = q0 * q0
+			}
+		} else if q2 > heapMinQ2 {
+			if heapMinQ2 > bestRejQ2 {
+				bestRejQ2 = heapMinQ2 // evicted root joins the unkept set
+			}
+			a.Entries[0] = lb.Entry{J: int32(j), QT: qtj, QTilde: q}
+			lb.SiftDown(a.Entries, 0)
+			q0 := a.Entries[0].QTilde
+			heapMinQ2 = q0 * q0
+		} else if q2 > bestRejQ2 {
+			bestRejQ2 = q2
+		}
+		// Division-free correlation compare; invs[j]=0 (degenerate
+		// candidate) yields corr 0 ⇒ distance √(2l), the convention.
+		corr := (qtj/fl - muA*means[j]) * invA * invs[j]
+		if corr > bestCorr {
+			bestCorr, bestJ = corr, j
+		}
+	}
+	if len(a.Entries) > 0 && len(a.Entries) < p {
+		lb.Heapify(a.Entries)
+	}
+	a.NextQ2 = bestRejQ2
+	if bestJ >= 0 {
+		if bestCorr > 1 {
+			bestCorr = 1
+		} else if bestCorr < -1 {
+			bestCorr = -1
+		}
+		mp.Update(i, math.Sqrt(2*fl*(1-bestCorr)), bestJ)
+	}
+}

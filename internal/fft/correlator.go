@@ -1,5 +1,26 @@
 package fft
 
+import "sync"
+
+// scratchPool recycles the complex work buffers behind correlators. One
+// VALMOD run builds a correlator per series plus a clone per seed worker,
+// and repeated engine runs would otherwise reallocate the two size-padded
+// complex slices (the largest allocations in the pipeline) every time.
+var scratchPool sync.Pool // stores *[]complex128
+
+func getScratch(size int) []complex128 {
+	if v := scratchPool.Get(); v != nil {
+		if x := *(v.(*[]complex128)); cap(x) >= size {
+			return x[:size]
+		}
+	}
+	return make([]complex128, size)
+}
+
+func putScratch(x []complex128) {
+	scratchPool.Put(&x)
+}
+
 // Correlator computes sliding dot products of many queries against one
 // fixed series, amortizing the series-side FFT: the spectrum of the padded
 // series is computed once, after which each query costs one forward and one
@@ -11,23 +32,31 @@ type Correlator struct {
 	size int
 	ft   []complex128
 	x    []complex128 // scratch
+	// ownsFT marks the correlator that built the spectrum; clones share it
+	// and must not return it to the pool on Release.
+	ownsFT bool
 }
 
 // NewCorrelator prepares a correlator for series t accepting queries up to
 // maxQueryLen points. It panics when t is empty or maxQueryLen < 1.
+// Call Release when done to recycle the buffers.
 func NewCorrelator(t []float64, maxQueryLen int) *Correlator {
 	if len(t) == 0 || maxQueryLen < 1 {
 		panic("fft: NewCorrelator requires a series and maxQueryLen >= 1")
 	}
 	size := NextPowerOfTwo(len(t) + maxQueryLen - 1)
 	c := &Correlator{
-		n:    len(t),
-		size: size,
-		ft:   make([]complex128, size),
-		x:    make([]complex128, size),
+		n:      len(t),
+		size:   size,
+		ft:     getScratch(size),
+		x:      getScratch(size),
+		ownsFT: true,
 	}
 	for i, v := range t {
 		c.ft[i] = complex(v, 0)
+	}
+	for i := len(t); i < size; i++ {
+		c.ft[i] = 0 // pooled memory may be dirty past the series
 	}
 	radix2(c.ft, false)
 	return c
@@ -37,14 +66,29 @@ func NewCorrelator(t []float64, maxQueryLen int) *Correlator {
 func (c *Correlator) N() int { return c.n }
 
 // Clone returns a correlator sharing the (immutable) series spectrum but
-// owning fresh scratch, so clones can run queries concurrently.
+// owning fresh scratch, so clones can run queries concurrently. Release the
+// clone before releasing the correlator it was cloned from.
 func (c *Correlator) Clone() *Correlator {
 	return &Correlator{
 		n:    c.n,
 		size: c.size,
 		ft:   c.ft,
-		x:    make([]complex128, c.size),
+		x:    getScratch(c.size),
 	}
+}
+
+// Release returns the correlator's buffers to the pool. The correlator must
+// not be used afterwards; a spectrum-owning correlator must outlive its
+// clones. Release is idempotent.
+func (c *Correlator) Release() {
+	if c.x != nil {
+		putScratch(c.x)
+		c.x = nil
+	}
+	if c.ownsFT && c.ft != nil {
+		putScratch(c.ft)
+	}
+	c.ft = nil
 }
 
 // Dots writes dot(q, t[j:j+len(q)]) for every valid j into dst (allocated

@@ -88,3 +88,55 @@ func TestNewCorrelatorPanics(t *testing.T) {
 	}()
 	NewCorrelator(nil, 4)
 }
+
+// TestCorrelatorReleaseRecycles: a released correlator's buffers come back
+// from the pool, and a correlator built on recycled (dirty) scratch still
+// computes correct dot products.
+func TestCorrelatorReleaseRecycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	tt := make([]float64, 300)
+	for i := range tt {
+		tt[i] = rng.NormFloat64()
+	}
+	c1 := NewCorrelator(tt, 32)
+	clone := c1.Clone()
+	_ = clone.Dots(tt[10:26], nil)
+	clone.Release()
+	c1.Release()
+	c1.Release() // idempotent
+
+	// The next correlator reuses the pooled (now dirty) buffers; results
+	// must be unaffected.
+	c2 := NewCorrelator(tt, 32)
+	defer c2.Release()
+	q := tt[40:72]
+	got := c2.Dots(q, nil)
+	want := SlidingDotProducts(q, tt)
+	for j := range want {
+		if math.Abs(got[j]-want[j]) > 1e-7*(1+math.Abs(want[j])) {
+			t.Fatalf("j=%d: %g want %g", j, got[j], want[j])
+		}
+	}
+}
+
+// TestCloneSharesSpectrum: clones must agree with the original exactly
+// (same spectrum, so bit-identical outputs).
+func TestCloneSharesSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	tt := make([]float64, 257)
+	for i := range tt {
+		tt[i] = rng.NormFloat64()
+	}
+	c := NewCorrelator(tt, 16)
+	defer c.Release()
+	clone := c.Clone()
+	defer clone.Release()
+	q := tt[5:21]
+	a := c.Dots(q, nil)
+	b := clone.Dots(q, nil)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("j=%d: clone %g vs original %g", j, b[j], a[j])
+		}
+	}
+}

@@ -127,6 +127,40 @@ func (e *Entry) Advance(t []float64, i, l int) {
 	e.QT += t[i+l-1] * t[int(e.J)+l-1]
 }
 
+// Heapify orders entries as a min-heap on q̃². This is the layout VALMOD
+// keeps a partial distance profile in: rank preservation makes the root —
+// the entry with the smallest q̃² — the retained candidate with the largest
+// lower bound, so eviction always discards the least promising entry.
+func Heapify(es []Entry) {
+	for i := len(es)/2 - 1; i >= 0; i-- {
+		SiftDown(es, i)
+	}
+}
+
+// SiftDown restores the min-heap ordering on q̃² below slot i after the
+// entry there was replaced. (The pre-refactor core had a latent one-level
+// sift here — benign for exactness, since VALMOD's bounds stay valid for
+// any retained set, but it let less-promising entries survive eviction and
+// so weakened the pruning.)
+func SiftDown(es []Entry, i int) {
+	n := len(es)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && es[l].QTilde*es[l].QTilde < es[small].QTilde*es[small].QTilde {
+			small = l
+		}
+		if r < n && es[r].QTilde*es[r].QTilde < es[small].QTilde*es[small].QTilde {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		es[i], es[small] = es[small], es[i]
+		i = small
+	}
+}
+
 // MaxLB returns the largest lower bound among the entries — the certification
 // threshold maxLB of the demo paper: every candidate *not* retained in the
 // partial profile has a true distance of at least this value. Entries must

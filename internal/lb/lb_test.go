@@ -49,10 +49,11 @@ func TestBoundSoundness(t *testing.T) {
 			terms := NewAnchorTerms(st, i, l, k)
 			bound := terms.Bound(qt)
 			truth := series.ZNormDist(x[i:i+m], x[j:j+m])
-			// Tolerance: near-perfect matches (ρ≈1) amplify one ULP of
-			// correlation error into ~1e-7 of distance; that is noise, not
-			// a bound violation.
-			if bound > truth+1e-6*(1+truth) {
+			// Compare squared distances: d = √(2m(1−ρ)) amplifies one ULP
+			// of correlation error into ~1e-6 of distance near perfect
+			// matches (ρ→1, e.g. i=j), so the distance has no uniform
+			// relative tolerance; d² is linear in ρ and does.
+			if bound*bound > truth*truth+1e-6*(1+truth*truth) {
 				t.Logf("violation: i=%d j=%d l=%d k=%d bound=%g truth=%g", i, j, l, k, bound, truth)
 				return false
 			}
@@ -267,4 +268,35 @@ func absInt(v int) int {
 		return -v
 	}
 	return v
+}
+
+func TestHeapifyAndSiftDownKeepMinHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	checkHeap := func(es []Entry) {
+		for i := range es {
+			for _, c := range []int{2*i + 1, 2*i + 2} {
+				if c < len(es) {
+					pi, ci := es[i].QTilde*es[i].QTilde, es[c].QTilde*es[c].QTilde
+					if ci < pi {
+						t.Fatalf("heap violated at %d->%d: %g < %g", i, c, ci, pi)
+					}
+				}
+			}
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		es := make([]Entry, 1+rng.Intn(32))
+		for i := range es {
+			es[i] = Entry{J: int32(i), QTilde: rng.NormFloat64() * 3}
+		}
+		Heapify(es)
+		checkHeap(es)
+		// Repeated root replacement must keep the invariant at every step
+		// (a one-level sift breaks this on deep heaps).
+		for rep := 0; rep < 50; rep++ {
+			es[0] = Entry{J: int32(rep), QTilde: rng.NormFloat64() * 3}
+			SiftDown(es, 0)
+			checkHeap(es)
+		}
+	}
 }

@@ -106,22 +106,70 @@ func (p MotifPair) String() string {
 // of an already-chosen endpoint is skipped, the standard de-duplication that
 // stops one deep valley from occupying all k slots.
 func (mp *MatrixProfile) TopKPairs(k int) []MotifPair {
-	type cand struct {
-		i int
-		d float64
+	if k <= 0 {
+		return nil
 	}
-	cands := make([]cand, 0, len(mp.Dist))
+	// Partial selection instead of a full sort: VALMOD calls this once (or
+	// more, in the recompute fixpoint) per length, and sorting all s
+	// candidates was the dominant serial cost of a pruned length. The
+	// de-duplication can in principle skip many candidates (every anchor
+	// may point into one already-used valley), so selection is retried with
+	// a growing candidate pool until either k pairs are extracted or the
+	// pool provably covers every candidate — the output is identical to the
+	// full sort.
+	limit := 4*k + 16
+	for {
+		pairs, exhausted := mp.topKPairsLimited(k, limit)
+		if len(pairs) >= k || exhausted {
+			return pairs
+		}
+		limit *= 4
+	}
+}
+
+type pairCand struct {
+	i int
+	d float64
+}
+
+// candLess is the extraction order: ascending distance, offset-ascending on
+// exact ties. It is a total order, so the selected prefix is unambiguous.
+func candLess(a, b pairCand) bool {
+	if a.d != b.d {
+		return a.d < b.d
+	}
+	return a.i < b.i
+}
+
+// topKPairsLimited extracts up to k pairs considering only the `limit`
+// best candidates under candLess. exhausted reports that every candidate
+// was considered (the pool never overflowed), making the result final.
+func (mp *MatrixProfile) topKPairsLimited(k, limit int) ([]MotifPair, bool) {
+	// Max-heap (root = worst kept) of the `limit` best candidates.
+	cands := make([]pairCand, 0, limit+1)
+	exhausted := true
 	for i, d := range mp.Dist {
-		if mp.Index[i] >= 0 && !math.IsInf(d, 1) {
-			cands = append(cands, cand{i, d})
+		if mp.Index[i] < 0 || math.IsInf(d, 1) {
+			continue
+		}
+		c := pairCand{i, d}
+		if len(cands) < limit {
+			cands = append(cands, c)
+			if len(cands) == limit {
+				for j := len(cands)/2 - 1; j >= 0; j-- {
+					candSiftDown(cands, j)
+				}
+			}
+			continue
+		}
+		exhausted = false
+		if candLess(c, cands[0]) {
+			cands[0] = c
+			candSiftDown(cands, 0)
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].d != cands[b].d {
-			return cands[a].d < cands[b].d
-		}
-		return cands[a].i < cands[b].i
-	})
+	sort.Slice(cands, func(a, b int) bool { return candLess(cands[a], cands[b]) })
+
 	var out []MotifPair
 	used := make([]int, 0, 2*k)
 	zone := mp.Exclusion
@@ -147,7 +195,27 @@ func (mp *MatrixProfile) TopKPairs(k int) []MotifPair {
 		out = append(out, MotifPair{A: a, B: b, M: mp.M, Dist: c.d})
 		used = append(used, a, b)
 	}
-	return out
+	return out, exhausted
+}
+
+// candSiftDown restores the max-heap (worst candidate at the root) below i.
+func candSiftDown(cands []pairCand, i int) {
+	n := len(cands)
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < n && candLess(cands[worst], cands[l]) {
+			worst = l
+		}
+		if r < n && candLess(cands[worst], cands[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		cands[i], cands[worst] = cands[worst], cands[i]
+		i = worst
+	}
 }
 
 // Discord holds a discord (anomaly) candidate: the subsequence whose

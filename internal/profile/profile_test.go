@@ -2,6 +2,8 @@ package profile
 
 import (
 	"math"
+	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -119,5 +121,122 @@ func TestStringFormat(t *testing.T) {
 	p := MotifPair{A: 1, B: 2, M: 3, Dist: 0.12345}
 	if got := p.String(); got != "motif{A=1 B=2 m=3 d=0.1235}" {
 		t.Errorf("String() = %q", got)
+	}
+}
+
+// referenceTopKPairs is the full-sort extraction TopKPairs must equal: sort
+// every candidate ascending (distance, then offset), then dedup-extract.
+func referenceTopKPairs(mp *MatrixProfile, k int) []MotifPair {
+	type cand struct {
+		i int
+		d float64
+	}
+	var cands []cand
+	for i, d := range mp.Dist {
+		if mp.Index[i] >= 0 && !math.IsInf(d, 1) {
+			cands = append(cands, cand{i, d})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].i < cands[b].i
+	})
+	var out []MotifPair
+	var used []int
+	tooClose := func(x int) bool {
+		for _, u := range used {
+			if abs(x-u) < mp.Exclusion {
+				return true
+			}
+		}
+		return false
+	}
+	for _, c := range cands {
+		if len(out) >= k {
+			break
+		}
+		a, b := c.i, mp.Index[c.i]
+		if a > b {
+			a, b = b, a
+		}
+		if tooClose(a) || tooClose(b) {
+			continue
+		}
+		out = append(out, MotifPair{A: a, B: b, M: mp.M, Dist: c.d})
+		used = append(used, a, b)
+	}
+	return out
+}
+
+// TestTopKPairsMatchesReference: the partial-selection implementation must
+// reproduce the full sort exactly, including the retry path where the
+// dedup skips most of the initial candidate pool (the adversarial profile
+// below points every anchor at one valley).
+func TestTopKPairsMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 50 + rng.Intn(400)
+		m := 8 + rng.Intn(32)
+		mp := New(m, ExclusionZone(m, 4), n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.05 {
+				continue // leave some slots empty
+			}
+			j := rng.Intn(n)
+			if j == i {
+				j = (i + 1) % n
+			}
+			d := rng.Float64() * 10
+			if rng.Float64() < 0.3 {
+				d = math.Floor(d) // force exact ties
+			}
+			mp.Dist[i] = d
+			mp.Index[i] = j
+		}
+		for _, k := range []int{1, 3, 10, 64} {
+			got := mp.TopKPairs(k)
+			want := referenceTopKPairs(mp, k)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d k=%d: %d pairs, want %d", trial, k, len(got), len(want))
+			}
+			for pi := range got {
+				if got[pi] != want[pi] {
+					t.Fatalf("trial %d k=%d pair %d: %v, want %v", trial, k, pi, got[pi], want[pi])
+				}
+			}
+		}
+	}
+}
+
+// TestTopKPairsAdversarialDedup: every anchor's nearest neighbor is inside
+// one small region, so extraction skips almost all of the best candidates
+// and the selection must grow its pool to stay exact.
+func TestTopKPairsAdversarialDedup(t *testing.T) {
+	n, m := 600, 16
+	mp := New(m, ExclusionZone(m, 4), n)
+	for i := 0; i < n; i++ {
+		if i >= 295 && i <= 305 {
+			continue
+		}
+		mp.Dist[i] = 1 + float64(i)*1e-4
+		mp.Index[i] = 300 // all pairs collapse onto one used endpoint
+	}
+	// Two genuinely distinct pairs, far from the valley, with worse ranks.
+	mp.Dist[50], mp.Index[50] = 90, 120
+	mp.Dist[400], mp.Index[400] = 95, 450
+	got := mp.TopKPairs(3)
+	want := referenceTopKPairs(mp, 3)
+	if len(got) != len(want) {
+		t.Fatalf("%d pairs, want %d (%v vs %v)", len(got), len(want), got, want)
+	}
+	for pi := range got {
+		if got[pi] != want[pi] {
+			t.Fatalf("pair %d: %v, want %v", pi, got[pi], want[pi])
+		}
+	}
+	if len(got) != 3 {
+		t.Fatalf("adversarial profile yielded %d pairs, want 3", len(got))
 	}
 }

@@ -28,14 +28,34 @@ type Options struct {
 	// ExclusionFactor sets the trivial-match zone ⌈ℓ/factor⌉ (default 4).
 	ExclusionFactor int
 	// RecomputeFraction is the fraction of anchors beyond which a length
-	// is recomputed wholesale rather than anchor-by-anchor (default 0.25).
+	// is recomputed wholesale rather than anchor-by-anchor (default 0.05:
+	// one MASS recompute costs Θ(n log n) against a full pass's Θ(s²), but
+	// the full pass also reseeds every partial profile, so the breakeven
+	// sits near s/log n ≈ 5% of anchors; see internal/core).
 	RecomputeFraction float64
 	// DisablePruning turns the lower-bound machinery off (ablation only:
 	// identical output, fixed-length recompute per length).
 	DisablePruning bool
-	// Workers bounds the goroutines used by the full-length scans
-	// (0 = all cores, 1 = serial). Results are identical at any setting.
+	// Workers bounds the goroutines used by the data-parallel phases: the
+	// ℓmin seed, full recomputes, and the per-length advance→certify pass
+	// over anchor shards (0 = all cores, 1 = serial). The work is
+	// partitioned on fixed grids independent of the worker count, so
+	// results are identical at any setting.
 	Workers int
+	// Progress, when non-nil, is called after each subsequence length
+	// completes (ℓmin first, then in increasing length order), on the
+	// goroutine running the discovery. A slow callback slows the run;
+	// cancellation is still honored between lengths.
+	Progress func(Progress)
+}
+
+// Progress reports one completed subsequence length of a running discovery.
+type Progress struct {
+	// Done counts completed lengths, this one included; Total is the
+	// number of lengths the run covers (lmax − lmin + 1).
+	Done, Total int
+	// Result is the completed length's exact result.
+	Result LengthResult
 }
 
 // MotifPair is a pair of similar subsequences.
@@ -118,15 +138,33 @@ type Result struct {
 	excl   int
 }
 
+// Engine is a reusable motif-discovery pipeline bound to a fixed set of
+// Options. It owns pooled scratch (FFT correlator buffers, STOMP/MASS row
+// buffers) that repeated Discover calls reuse instead of re-allocating,
+// and it is safe for concurrent use. The package-level Discover helpers
+// remain thin wrappers over a shared engine.
+type Engine struct {
+	opts Options
+	core *core.Engine
+}
+
+// NewEngine returns an Engine that runs every discovery with opts.
+func NewEngine(opts Options) *Engine {
+	return &Engine{opts: opts, core: core.NewEngine()}
+}
+
+// Options echoes the engine's configuration.
+func (e *Engine) Options() Options { return e.opts }
+
 // Discover runs VALMOD over values for every subsequence length in
 // [lmin, lmax].
-func Discover(values []float64, lmin, lmax int, opts Options) (*Result, error) {
-	return DiscoverContext(context.Background(), values, lmin, lmax, opts)
+func (e *Engine) Discover(values []float64, lmin, lmax int) (*Result, error) {
+	return e.DiscoverContext(context.Background(), values, lmin, lmax)
 }
 
 // DiscoverContext is Discover with cooperative cancellation, checked
 // between lengths. On cancellation it returns ctx.Err().
-func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts Options) (*Result, error) {
+func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lmax int) (*Result, error) {
 	if len(values) == 0 {
 		return nil, fmt.Errorf("%w: empty series", ErrBadInput)
 	}
@@ -135,6 +173,7 @@ func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts
 			return nil, fmt.Errorf("%w: non-finite value at index %d", ErrBadInput, i)
 		}
 	}
+	opts := e.opts
 	cfg := core.Config{
 		LMin:              lmin,
 		LMax:              lmax,
@@ -145,7 +184,12 @@ func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts
 		DisablePruning:    opts.DisablePruning,
 		Workers:           opts.Workers,
 	}
-	res, err := core.RunContext(ctx, values, cfg)
+	if cb := opts.Progress; cb != nil {
+		cfg.OnLength = func(p core.Progress) {
+			cb(Progress{Done: p.Done, Total: p.Total, Result: lengthResultFromCore(p.Result)})
+		}
+	}
+	res, err := e.core.Run(ctx, values, cfg)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, err
@@ -160,16 +204,7 @@ func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts
 		excl:   res.Cfg.ExclusionFactor,
 	}
 	for _, lr := range res.PerLength {
-		plr := LengthResult{
-			Length:        lr.M,
-			Certified:     lr.Stats.Certified,
-			Recomputed:    lr.Stats.Recomputed,
-			FullRecompute: lr.Stats.FullRecompute,
-		}
-		for _, p := range lr.Pairs {
-			plr.Pairs = append(plr.Pairs, fromInternal(p))
-		}
-		out.PerLength = append(out.PerLength, plr)
+		out.PerLength = append(out.PerLength, lengthResultFromCore(lr))
 	}
 	out.Profile = res.MPMin.Dist
 	out.ProfileIndex = res.MPMin.Index
@@ -179,6 +214,37 @@ func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts
 		inner: res.VMap,
 	}
 	return out, nil
+}
+
+// defaultCore backs the package-level Discover helpers so one-shot calls
+// still share pooled scratch process-wide.
+var defaultCore = core.NewEngine()
+
+// Discover runs VALMOD over values for every subsequence length in
+// [lmin, lmax].
+func Discover(values []float64, lmin, lmax int, opts Options) (*Result, error) {
+	return DiscoverContext(context.Background(), values, lmin, lmax, opts)
+}
+
+// DiscoverContext is Discover with cooperative cancellation, checked
+// between lengths. On cancellation it returns ctx.Err().
+func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts Options) (*Result, error) {
+	e := Engine{opts: opts, core: defaultCore}
+	return e.DiscoverContext(ctx, values, lmin, lmax)
+}
+
+// lengthResultFromCore converts one internal per-length result.
+func lengthResultFromCore(lr core.LengthResult) LengthResult {
+	plr := LengthResult{
+		Length:        lr.M,
+		Certified:     lr.Stats.Certified,
+		Recomputed:    lr.Stats.Recomputed,
+		FullRecompute: lr.Stats.FullRecompute,
+	}
+	for _, p := range lr.Pairs {
+		plr.Pairs = append(plr.Pairs, fromInternal(p))
+	}
+	return plr
 }
 
 func fromInternal(p profile.MotifPair) MotifPair {
