@@ -1,0 +1,106 @@
+// Command valmod-serve exposes the suite as an HTTP service: clients
+// submit variable-length motif-discovery jobs, stream per-length progress
+// over SSE, cancel jobs, and share an LRU result cache so repeated queries
+// on the same series cost nothing. It is the multi-user transport over the
+// job manager in internal/service; the API is specified in docs/api.md and
+// the concurrency model in ARCHITECTURE.md.
+//
+// Usage:
+//
+//	valmod-serve [-addr :8422] [-max-concurrent 2] [-cache-entries 64]
+//	             [-max-jobs 256] [-max-series 64]
+//
+// Quick check once it is running:
+//
+//	curl -s localhost:8422/healthz
+//	curl -s -X POST localhost:8422/v1/jobs -d '{"values":[...],"lmin":50,"lmax":400}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/seriesmining/valmod/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8422", "listen address")
+		maxConc  = flag.Int("max-concurrent", 2, "discoveries running at once; further jobs queue")
+		cache    = flag.Int("cache-entries", 64, "LRU result-cache capacity (negative disables)")
+		maxJobs  = flag.Int("max-jobs", 256, "jobs retained for status queries (oldest finished evicted first)")
+		maxSer   = flag.Int("max-series", 64, "uploaded series retained for reuse")
+		maxBody  = flag.Int64("max-body-mb", 64, "request body cap in MiB (negative disables)")
+		maxQueue = flag.Int("max-queue", 64, "live (queued+running) jobs admitted before submissions get 429")
+	)
+	flag.Parse()
+	cfg := service.Config{
+		MaxConcurrent: *maxConc,
+		CacheEntries:  *cache,
+		MaxJobs:       *maxJobs,
+		MaxSeries:     *maxSer,
+		MaxBodyBytes:  *maxBody << 20,
+		MaxQueue:      *maxQueue,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, cfg, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "valmod-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled, then shuts down gracefully. It is
+// split from main (addr may be ":0", ready reports the bound address) so
+// tests can drive it.
+func run(ctx context.Context, addr string, cfg service.Config, ready func(net.Addr)) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	m := service.NewManager(cfg)
+	srv := &http.Server{
+		Handler: service.NewServer(m),
+		// Derive request contexts from ctx so long-lived handlers (SSE
+		// streams) unblock when the shutdown signal arrives — otherwise
+		// Shutdown would wait on them past its deadline.
+		BaseContext: func(net.Listener) context.Context { return ctx },
+		// Bound header reads and idle keep-alives so trickled requests
+		// can't pin connections forever. No WriteTimeout: it would kill
+		// long SSE streams.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	fmt.Fprintf(os.Stderr, "valmod-serve: listening on %s\n", ln.Addr())
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	// Stop running discoveries first: they hold the semaphore and would
+	// otherwise burn CPU until the process dies.
+	m.Shutdown()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

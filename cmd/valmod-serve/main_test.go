@@ -1,0 +1,149 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+
+	"github.com/seriesmining/valmod/internal/service"
+)
+
+// TestServeEndToEnd boots the server on an ephemeral port, submits a tiny
+// job over HTTP, waits for it to finish, and shuts down gracefully.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", service.Config{MaxConcurrent: 1}, func(a net.Addr) { addrc <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case err := <-done:
+		t.Fatalf("server exited early: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = float64(i%17) - float64(i%5)
+	}
+	body, _ := json.Marshal(service.JobRequest{Values: values, LMin: 8, LMax: 16, Workers: 1})
+	post, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(post.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	deadline := time.Now().Add(30 * time.Second)
+	for !st.State.Terminal() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		r, err := http.Get(base + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+	}
+	if st.State != service.StateDone || st.Result == nil {
+		t.Fatalf("job = %+v, want done with result", st)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+// TestServeShutdownWithOpenSSE: SIGTERM (ctx cancel) while a long job is
+// running and an SSE stream is attached must still shut down cleanly —
+// the stream unblocks via the server's BaseContext and the manager
+// force-cancels the discovery.
+func TestServeShutdownWithOpenSSE(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	addrc := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", service.Config{MaxConcurrent: 1}, func(a net.Addr) { addrc <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrc:
+		base = "http://" + a.String()
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	values := make([]float64, 6000)
+	for i := range values {
+		values[i] = float64(i%23) - float64(i%7)
+	}
+	body, _ := json.Marshal(service.JobRequest{Values: values, LMin: 16, LMax: 600, Workers: 1})
+	post, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st service.Status
+	if err := json.NewDecoder(post.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+
+	// Attach an SSE stream and keep it open.
+	sse, err := http.Get(base + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sse.Body.Close()
+	sseDone := make(chan struct{})
+	go func() {
+		defer close(sseDone)
+		buf := make([]byte, 4096)
+		for {
+			if _, err := sse.Body.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown with open SSE returned %v, want nil", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down while an SSE stream was open")
+	}
+	select {
+	case <-sseDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("SSE stream never terminated after shutdown")
+	}
+}

@@ -86,7 +86,11 @@ type Config struct {
 	OnLength func(Progress)
 }
 
-func (c *Config) fill() {
+// Fill substitutes the effective defaults for zero/out-of-range fields.
+// Run applies it on entry; the serving layer calls it too, so cache keys
+// are derived from exactly the configuration that runs — keep this the
+// single place the default rules live.
+func (c *Config) Fill() {
 	if c.TopK <= 0 {
 		c.TopK = DefaultTopK
 	}
@@ -101,15 +105,25 @@ func (c *Config) fill() {
 	}
 }
 
+// ValidateRange is the single statement of the length-range rules, shared
+// by Config.validate and the public API's pre-flight Validate so the two
+// can never drift. The error is unwrapped; callers add their sentinel.
+func ValidateRange(n, lmin, lmax int) error {
+	if lmin < 4 {
+		return fmt.Errorf("lmin=%d: must be >= 4", lmin)
+	}
+	if lmax < lmin {
+		return fmt.Errorf("lmax=%d: must be >= lmin (%d)", lmax, lmin)
+	}
+	if lmax > n {
+		return fmt.Errorf("lmax=%d: exceeds series length %d", lmax, n)
+	}
+	return nil
+}
+
 func (c Config) validate(n int) error {
-	if c.LMin < 4 {
-		return fmt.Errorf("%w: LMin=%d, need >= 4", ErrBadConfig, c.LMin)
-	}
-	if c.LMax < c.LMin {
-		return fmt.Errorf("%w: LMax=%d < LMin=%d", ErrBadConfig, c.LMax, c.LMin)
-	}
-	if c.LMax > n {
-		return fmt.Errorf("%w: LMax=%d > series length %d", ErrBadConfig, c.LMax, n)
+	if err := ValidateRange(n, c.LMin, c.LMax); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
 	return nil
 }

@@ -33,9 +33,10 @@ func Run(t []float64, cfg Config) (*Result, error) {
 	return defaultEngine.Run(context.Background(), t, cfg)
 }
 
-// RunContext is Run with cooperative cancellation, checked between lengths
-// (the granularity the benchmark harness's wall-clock budgets need). On
-// cancellation it returns ctx.Err().
+// RunContext is Run with cooperative cancellation, checked between lengths,
+// between seed/full-recompute blocks, and between recompute rounds (the
+// granularity wall-clock budgets and a serving layer's job cancellation
+// need). On cancellation it returns ctx.Err().
 func RunContext(ctx context.Context, t []float64, cfg Config) (*Result, error) {
 	return defaultEngine.Run(ctx, t, cfg)
 }
@@ -56,6 +57,7 @@ func (e *Engine) putRow(row []float64) {
 // run carries the mutable state of one VALMOD execution.
 type run struct {
 	eng     *Engine
+	ctx     context.Context
 	t       []float64
 	st      *series.Stats
 	cfg     Config
@@ -113,7 +115,7 @@ func (r *run) momentsAt(l int) {
 // recompute the uncertified stragglers to a fixpoint. Progress is emitted
 // after every completed length when cfg.OnLength is set.
 func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, error) {
-	cfg.fill()
+	cfg.Fill()
 	if err := cfg.validate(len(t)); err != nil {
 		return nil, err
 	}
@@ -129,6 +131,7 @@ func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, err
 	}
 	r := &run{
 		eng:     e,
+		ctx:     ctx,
 		t:       t,
 		st:      series.NewStats(t),
 		cfg:     cfg,

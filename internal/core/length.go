@@ -73,6 +73,9 @@ func (r *run) processLength(l int) (LengthResult, error) {
 	// new anchor, so the loop terminates.
 	recomputed := 0
 	for {
+		if err := r.ctx.Err(); err != nil {
+			return lr, err
+		}
 		pairs := lmp.TopKPairs(r.cfg.TopK)
 		// τ is the certification threshold: with a full top-k in hand, the
 		// k-th best distance; otherwise +Inf (anything could still improve

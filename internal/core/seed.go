@@ -43,6 +43,9 @@ func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
 			r.rowQT = make([]float64, s)
 		}
 		for b := 0; b < nBlocks; b++ {
+			if err := r.ctx.Err(); err != nil {
+				return nil, err
+			}
 			lo, hi := blockBounds(b, s)
 			r.processRunWith(lo, hi-lo, l, excl, s, mp, r.corr, r.rowQT[:s])
 		}
@@ -59,6 +62,12 @@ func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
 			row := r.eng.getRow(s)
 			defer r.eng.putRow(row)
 			for {
+				// Bail between blocks on cancellation; the partial profile
+				// is discarded with the run, so early exit cannot leak into
+				// any returned result.
+				if r.ctx.Err() != nil {
+					return
+				}
 				b := int(next.Add(1)) - 1
 				if b >= nBlocks {
 					return
@@ -69,6 +78,9 @@ func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
 		}()
 	}
 	wg.Wait()
+	if err := r.ctx.Err(); err != nil {
+		return nil, err
+	}
 	return mp, nil
 }
 

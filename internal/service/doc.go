@@ -1,0 +1,26 @@
+// Package service is the serving layer of the suite: it turns the one-run
+// library (valmod.Engine) into a multi-user job system, the piece that
+// absorbs the "interactive, repeated analysis" workload the VALMOD demo
+// and its MAD follow-up describe.
+//
+// A Manager owns one base Engine whose pooled scratch every job shares
+// (Engine.WithOptions hands each job its own Options and Progress callback
+// over the same pools), a counting semaphore that bounds the discoveries
+// running at once, and an LRU result cache keyed by series-hash + length
+// range + every output-affecting option — Workers is deliberately excluded
+// from the key because the engine's fixed-grid contract makes results
+// bit-identical at any worker count, so repeated queries on the same data
+// are served without engine work regardless of requested parallelism.
+//
+// Each Job carries its own context (DELETE cancels it, honored between
+// lengths, seed blocks, and recompute rounds), an append-only event log of
+// per-length progress, and a broadcast channel; Watch replays the log and
+// then streams live events, which is what the HTTP layer's SSE endpoint
+// consumes. Invariants: a job reaches exactly one terminal state
+// (done/failed/canceled), its event log is monotone in Done, and a cached
+// result is immutable once stored — handlers serialize it, never mutate it.
+//
+// NewServer wraps a Manager in the HTTP transport documented in
+// docs/api.md; see ARCHITECTURE.md for how the layer sits between the core
+// engine and the transports.
+package service

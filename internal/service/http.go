@@ -1,0 +1,189 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+// NewServer wraps m in the HTTP API documented in docs/api.md:
+//
+//	POST   /v1/series          upload a series for reuse across jobs
+//	GET    /v1/series/{id}     uploaded-series metadata
+//	POST   /v1/jobs            submit a discovery (inline values or series_id)
+//	GET    /v1/jobs/{id}       job status; result JSON once done
+//	GET    /v1/jobs/{id}/events  SSE per-length progress stream
+//	DELETE /v1/jobs/{id}       cancel the job
+//	GET    /v1/stats           engine-run / cache counters
+//	GET    /healthz            liveness
+func NewServer(m *Manager) http.Handler {
+	s := &server{m: m}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/series", s.uploadSeries)
+	mux.HandleFunc("GET /v1/series/{id}", s.getSeries)
+	mux.HandleFunc("POST /v1/jobs", s.submitJob)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEvents)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
+	mux.HandleFunc("GET /v1/stats", s.getStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+type server struct {
+	m *Manager
+}
+
+// apiError is the uniform error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, apiError{Error: err.Error()})
+}
+
+// limitBody caps the request body so an oversized upload is rejected
+// mid-read instead of being materialized; Decode then fails with a
+// *http.MaxBytesError.
+func (s *server) limitBody(w http.ResponseWriter, r *http.Request) {
+	if s.m.cfg.MaxBodyBytes > 0 {
+		r.Body = http.MaxBytesReader(w, r.Body, s.m.cfg.MaxBodyBytes)
+	}
+}
+
+func decodeErrorStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func (s *server) uploadSeries(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var body struct {
+		Values []float64 `json:"values"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, decodeErrorStatus(err), fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	info, err := s.m.UploadSeries(body.Values)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *server) getSeries(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.m.Series(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown series"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *server) submitJob(w http.ResponseWriter, r *http.Request) {
+	s.limitBody(w, r)
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, decodeErrorStatus(err), fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	job, err := s.m.Submit(req)
+	if err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, valmod.ErrBadInput):
+			code = http.StatusBadRequest
+		case errors.Is(err, ErrQueueFull):
+			code = http.StatusTooManyRequests
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *server) getStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.m.Stats())
+}
+
+func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	job.Cancel()
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+// jobEvents streams per-length progress as Server-Sent Events: one
+// "progress" event per completed length (replayed from the start for late
+// subscribers), then a single terminal event named after the final state
+// ("done"/"failed"/"canceled") carrying the full status — result included.
+func (s *server) jobEvents(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	for e := range job.Watch(r.Context()) {
+		if err := writeSSE(w, "progress", e); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+	if r.Context().Err() != nil {
+		return // client went away; no terminal event
+	}
+	st := job.Status()
+	if writeSSE(w, string(st.State), st) == nil {
+		flusher.Flush()
+	}
+}
+
+func writeSSE(w http.ResponseWriter, event string, data any) error {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, payload)
+	return err
+}

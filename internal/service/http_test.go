@@ -1,0 +1,356 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+type sseEvent struct {
+	name string
+	data string
+}
+
+// readSSE consumes an SSE body into (event, data) pairs.
+func readSSE(t *testing.T, body *bufio.Scanner) []sseEvent {
+	t.Helper()
+	var events []sseEvent
+	var cur sseEvent
+	for body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			cur.name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			cur.data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if cur.name != "" {
+				events = append(events, cur)
+				cur = sseEvent{}
+			}
+		}
+	}
+	return events
+}
+
+func postJSON(t *testing.T, client *http.Client, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decode[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// rawStatus mirrors Status but keeps the result's exact bytes.
+type rawStatus struct {
+	ID       string          `json:"id"`
+	State    State           `json:"state"`
+	Done     int             `json:"done"`
+	Total    int             `json:"total"`
+	CacheHit bool            `json:"cache_hit"`
+	Error    string          `json:"error"`
+	Result   json.RawMessage `json:"result"`
+}
+
+func getStatus(t *testing.T, client *http.Client, base, id string) rawStatus {
+	t.Helper()
+	resp, err := client.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return decode[rawStatus](t, resp)
+}
+
+func waitHTTPTerminal(t *testing.T, client *http.Client, base, id string) rawStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, client, base, id)
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never terminal over HTTP", id)
+	return rawStatus{}
+}
+
+// TestHTTPEndToEnd is the acceptance test: submit over HTTP, stream the
+// SSE progress, and require the final result JSON to be byte-identical to
+// a direct Discover call on the same series and options.
+func TestHTTPEndToEnd(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 2})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	values := testSeries(1000)
+	req := JobRequest{Values: values, LMin: 16, LMax: 48, TopK: 5, Workers: 1}
+
+	resp := postJSON(t, client, ts.URL+"/v1/jobs", req)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	st := decode[rawStatus](t, resp)
+	if st.ID == "" {
+		t.Fatal("submit returned no job ID")
+	}
+
+	// Stream the SSE progress to completion.
+	evResp, err := client.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	if ct := evResp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content-type %q", ct)
+	}
+	events := readSSE(t, bufio.NewScanner(evResp.Body))
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	total := req.LMax - req.LMin + 1
+	progress := events[:len(events)-1]
+	if len(progress) != total {
+		t.Fatalf("got %d progress events, want %d", len(progress), total)
+	}
+	for i, e := range progress {
+		if e.name != "progress" {
+			t.Fatalf("event %d named %q", i, e.name)
+		}
+		var ev Event
+		if err := json.Unmarshal([]byte(e.data), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Done != i+1 || ev.Total != total || ev.Length != req.LMin+i {
+			t.Fatalf("event %d = %+v, want done=%d total=%d length=%d", i, ev, i+1, total, req.LMin+i)
+		}
+	}
+	if last := events[len(events)-1]; last.name != string(StateDone) {
+		t.Fatalf("terminal event named %q, want %q", last.name, StateDone)
+	}
+
+	// The final result must be byte-identical to a direct library run.
+	final := waitHTTPTerminal(t, client, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+	direct, err := valmod.Discover(values, req.LMin, req.LMax, req.options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(ResultOf(direct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(final.Result, want) {
+		t.Fatalf("service result is not byte-identical to direct Discover\n got %s\nwant %s", final.Result, want)
+	}
+}
+
+// TestHTTPCacheHit requires the second identical submission to complete
+// without re-running the engine, with the identical result bytes.
+func TestHTTPCacheHit(t *testing.T) {
+	m := NewManager(Config{})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	values := testSeries(900)
+	req := JobRequest{Values: values, LMin: 20, LMax: 40, Workers: 1}
+
+	st1 := decode[rawStatus](t, postJSON(t, client, ts.URL+"/v1/jobs", req))
+	final1 := waitHTTPTerminal(t, client, ts.URL, st1.ID)
+	if final1.State != StateDone {
+		t.Fatalf("first job: %s (%s)", final1.State, final1.Error)
+	}
+	runs := m.Stats().EngineRuns
+
+	st2 := decode[rawStatus](t, postJSON(t, client, ts.URL+"/v1/jobs", req))
+	if st2.State != StateDone || !st2.CacheHit {
+		t.Fatalf("resubmission should be a done cache hit, got state=%s cache_hit=%v", st2.State, st2.CacheHit)
+	}
+	if !bytes.Equal(st2.Result, final1.Result) {
+		t.Fatal("cached result bytes differ")
+	}
+	if m.Stats().EngineRuns != runs {
+		t.Fatal("cache hit must not run the engine")
+	}
+	// SSE on a cached job: no progress, one terminal "done" event.
+	evResp, err := client.Get(ts.URL + "/v1/jobs/" + st2.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+	events := readSSE(t, bufio.NewScanner(evResp.Body))
+	if len(events) != 1 || events[0].name != string(StateDone) {
+		t.Fatalf("cached job SSE = %+v, want a single done event", events)
+	}
+}
+
+// TestHTTPCancellation cancels a running job via DELETE and checks both
+// the status endpoint and the SSE terminal event report "canceled".
+func TestHTTPCancellation(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	values := testSeries(6000)
+	req := JobRequest{Values: values, LMin: 16, LMax: 600, Workers: 1}
+	st := decode[rawStatus](t, postJSON(t, client, ts.URL+"/v1/jobs", req))
+
+	evResp, err := client.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evResp.Body.Close()
+
+	del, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := client.Do(del); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	final := waitHTTPTerminal(t, client, ts.URL, st.ID)
+	if final.State != StateCanceled {
+		t.Fatalf("state=%s, want canceled", final.State)
+	}
+	events := readSSE(t, bufio.NewScanner(evResp.Body))
+	if len(events) == 0 || events[len(events)-1].name != string(StateCanceled) {
+		t.Fatalf("SSE should end with a canceled event, got %+v", events)
+	}
+}
+
+// TestHTTPErrors covers the error model: bad JSON, validation failures,
+// and unknown IDs.
+func TestHTTPErrors(t *testing.T) {
+	m := NewManager(Config{})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON: status %d", resp.StatusCode)
+	}
+
+	resp = postJSON(t, client, ts.URL+"/v1/jobs", JobRequest{Values: testSeries(100), LMin: 2, LMax: 10})
+	body := decode[apiError](t, resp)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(body.Error, "lmin=2") {
+		t.Errorf("validation error: status %d body %q", resp.StatusCode, body.Error)
+	}
+
+	for _, path := range []string{"/v1/jobs/j_missing", "/v1/jobs/j_missing/events", "/v1/series/s_missing"} {
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestHTTPBodyLimit: bodies above MaxBodyBytes are rejected with 413
+// before being materialized.
+func TestHTTPBodyLimit(t *testing.T) {
+	m := NewManager(Config{MaxBodyBytes: 8192})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	big := testSeries(4096) // ~80 KB of JSON, far over the 8 KiB cap
+	for _, path := range []string{"/v1/jobs", "/v1/series"} {
+		resp := postJSON(t, client, ts.URL+path, map[string]any{"values": big, "lmin": 16, "lmax": 32})
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestEntityTooLarge {
+			t.Errorf("POST %s oversized: status %d, want 413", path, resp.StatusCode)
+		}
+	}
+	// Small bodies still pass.
+	resp := postJSON(t, client, ts.URL+"/v1/jobs", JobRequest{Values: testSeries(60), LMin: 8, LMax: 16})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Errorf("small body: status %d, want 202", resp.StatusCode)
+	}
+}
+
+// TestHTTPQueueFull maps ErrQueueFull to 429.
+func TestHTTPQueueFull(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, MaxQueue: 1})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	values := testSeries(5000)
+	st := decode[rawStatus](t, postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Values: values, LMin: 16, LMax: 300, Workers: 1}))
+	resp := postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Values: values, LMin: 16, LMax: 299, Workers: 1})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("full queue: status %d, want 429", resp.StatusCode)
+	}
+	m.Cancel(st.ID)
+	waitHTTPTerminal(t, client, ts.URL, st.ID)
+}
+
+// TestHTTPSeriesUpload runs the upload → reference-by-id flow end to end.
+func TestHTTPSeriesUpload(t *testing.T) {
+	m := NewManager(Config{})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	values := testSeries(700)
+	up := decode[SeriesInfo](t, postJSON(t, client, ts.URL+"/v1/series",
+		map[string]any{"values": values}))
+	if up.ID == "" || up.N != len(values) {
+		t.Fatalf("upload = %+v", up)
+	}
+	st := decode[rawStatus](t, postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{SeriesID: up.ID, LMin: 16, LMax: 32, Workers: 1}))
+	final := waitHTTPTerminal(t, client, ts.URL, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state=%s err=%q", final.State, final.Error)
+	}
+	var got Result
+	if err := json.Unmarshal(final.Result, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.N != len(values) || got.LMin != 16 || got.LMax != 32 {
+		t.Fatalf("result header = %+v", got)
+	}
+}

@@ -1,0 +1,33 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// TestJobTryAttachAfterLastVote pins the race closure: once the last
+// cancellation vote is spent the job is committed to cancellation, and no
+// new submitter may attach — even in the instant before the context
+// visibly fires.
+func TestJobTryAttachAfterLastVote(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := newJob("j_x", cancel)
+	j.ctxDone = ctx.Done()
+	if !j.tryAttach() {
+		t.Fatal("attach to a live job should succeed")
+	}
+	j.Cancel() // spends the original submitter's vote (idempotent)
+	j.Cancel()
+	if got := j.votes.Load(); got != 1 {
+		t.Fatalf("votes=%d after one submitter canceled twice, want 1", got)
+	}
+	j.withdrawVote() // the attached submitter leaves: votes hit zero
+	if j.tryAttach() {
+		t.Fatal("attach must fail once the last vote is spent")
+	}
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("context should have fired with the last vote")
+	}
+}

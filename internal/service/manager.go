@@ -1,0 +1,471 @@
+package service
+
+import (
+	"context"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+// Config sizes a Manager. Zero fields select the defaults.
+type Config struct {
+	// MaxConcurrent bounds the discoveries running at once; further
+	// submissions queue (default 2).
+	MaxConcurrent int
+	// CacheEntries is the LRU result-cache capacity (default 64; negative
+	// disables the cache).
+	CacheEntries int
+	// MaxJobs bounds retained jobs; the oldest terminal jobs are evicted
+	// first (default 256).
+	MaxJobs int
+	// MaxSeries bounds uploaded series retained for reference by later
+	// jobs; the oldest are evicted first (default 64).
+	MaxSeries int
+	// MaxBodyBytes caps HTTP request bodies (default 64 MiB; negative
+	// disables the cap). Applied by the transport before decoding, so an
+	// oversized upload is rejected without materializing it.
+	MaxBodyBytes int64
+	// MaxQueue bounds live jobs — queued, running, and coalesced
+	// followers alike (each holds goroutines and event state);
+	// submissions beyond it are rejected with ErrQueueFull rather than
+	// accumulated without bound (default 64). Cache hits don't count —
+	// they are born terminal and never occupy a slot.
+	MaxQueue int
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 2
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 256
+	}
+	if c.MaxSeries <= 0 {
+		c.MaxSeries = 64
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 64
+	}
+}
+
+// ErrQueueFull is returned by Submit when MaxQueue live jobs already
+// exist; the HTTP layer maps it to 429.
+var ErrQueueFull = errors.New("service: job queue full, retry later")
+
+// JobRequest is one discovery submission: a series (inline values or a
+// reference to an uploaded one), the length range, and the engine options.
+// Zero option fields select the library defaults.
+type JobRequest struct {
+	Values            []float64 `json:"values,omitempty"`
+	SeriesID          string    `json:"series_id,omitempty"`
+	LMin              int       `json:"lmin"`
+	LMax              int       `json:"lmax"`
+	TopK              int       `json:"topk,omitempty"`
+	P                 int       `json:"p,omitempty"`
+	ExclusionFactor   int       `json:"exclusion_factor,omitempty"`
+	RecomputeFraction float64   `json:"recompute_fraction,omitempty"`
+	Workers           int       `json:"workers,omitempty"`
+}
+
+// options maps the request's engine knobs onto valmod.Options.
+func (r JobRequest) options() valmod.Options {
+	return valmod.Options{
+		TopK:              r.TopK,
+		P:                 r.P,
+		ExclusionFactor:   r.ExclusionFactor,
+		RecomputeFraction: r.RecomputeFraction,
+		Workers:           r.Workers,
+	}
+}
+
+// SeriesInfo describes one uploaded series.
+type SeriesInfo struct {
+	ID string `json:"id"`
+	N  int    `json:"n"`
+}
+
+type storedSeries struct {
+	values []float64
+	hash   [sha256.Size]byte
+}
+
+// Stats counts the manager's work, primarily so tests (and operators) can
+// tell cache hits from engine runs.
+type Stats struct {
+	// EngineRuns counts discoveries actually executed by the engine.
+	EngineRuns int64 `json:"engine_runs"`
+	// CacheHits counts submissions answered from the result cache.
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts submissions that had to run (or queue).
+	CacheMisses int64 `json:"cache_misses"`
+	// Coalesced counts submissions attached to an identical in-flight job.
+	Coalesced int64 `json:"coalesced"`
+}
+
+// Manager owns the serving state: the shared base engine, the concurrency
+// semaphore, the result cache, and the job and series tables.
+type Manager struct {
+	cfg   Config
+	base  *valmod.Engine // jobs run via base.WithOptions → shared pools
+	sem   chan struct{}
+	cache *resultCache
+
+	engineRuns  atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	coalesced   atomic.Int64
+
+	mu          sync.Mutex
+	jobs        map[string]*Job
+	jobOrder    []string // insertion order, drives terminal-first eviction
+	inflight    map[cacheKey]*Job
+	liveJobs    int // queued + running, bounded by cfg.MaxQueue
+	series      map[string]*storedSeries
+	seriesOrder []string
+}
+
+// NewManager returns a ready Manager.
+func NewManager(cfg Config) *Manager {
+	cfg.fill()
+	return &Manager{
+		cfg:      cfg,
+		base:     valmod.NewEngine(valmod.Options{}),
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		cache:    newResultCache(cfg.CacheEntries),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[cacheKey]*Job),
+		series:   make(map[string]*storedSeries),
+	}
+}
+
+// Stats snapshots the counters.
+func (m *Manager) Stats() Stats {
+	return Stats{
+		EngineRuns:  m.engineRuns.Load(),
+		CacheHits:   m.cacheHits.Load(),
+		CacheMisses: m.cacheMisses.Load(),
+		Coalesced:   m.coalesced.Load(),
+	}
+}
+
+// newID returns a fresh random handle with the given prefix.
+func newID(prefix string) string {
+	var b [9]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return prefix + hex.EncodeToString(b[:])
+}
+
+// UploadSeries stores values for reference by later jobs and returns its
+// handle. The data is validated here (non-empty, all finite) so bad
+// series are rejected at the point they enter rather than failing every
+// job that references them, and hashed once so jobs referencing it skip
+// the per-submission hash.
+func (m *Manager) UploadSeries(values []float64) (SeriesInfo, error) {
+	if err := valmod.ValidateSeries(values); err != nil {
+		return SeriesInfo{}, err
+	}
+	s := &storedSeries{values: values, hash: hashSeries(values)}
+	id := newID("s_")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.series[id] = s
+	m.seriesOrder = append(m.seriesOrder, id)
+	for len(m.seriesOrder) > m.cfg.MaxSeries {
+		evict := m.seriesOrder[0]
+		m.seriesOrder = m.seriesOrder[1:]
+		delete(m.series, evict)
+	}
+	return SeriesInfo{ID: id, N: len(values)}, nil
+}
+
+// Series returns the metadata of an uploaded series.
+func (m *Manager) Series(id string) (SeriesInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.series[id]
+	if !ok {
+		return SeriesInfo{}, false
+	}
+	return SeriesInfo{ID: id, N: len(s.values)}, true
+}
+
+// Submit validates the request synchronously (errors wrap
+// valmod.ErrBadInput) and returns the job. On a cache hit the job is
+// already done. A submission identical to one still in flight coalesces
+// onto the running job — the returned job (and its ID, progress, and
+// cancellation) is shared. Otherwise a fresh job is queued and runs as
+// soon as the semaphore admits it.
+func (m *Manager) Submit(req JobRequest) (*Job, error) {
+	var values []float64
+	var hash [sha256.Size]byte
+	opts := req.options()
+	switch {
+	case req.SeriesID != "" && req.Values != nil:
+		return nil, fmt.Errorf("%w: values/series_id: give one, not both", valmod.ErrBadInput)
+	case req.SeriesID != "":
+		m.mu.Lock()
+		s, ok := m.series[req.SeriesID]
+		m.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("%w: series_id=%q: unknown series", valmod.ErrBadInput, req.SeriesID)
+		}
+		values, hash = s.values, s.hash
+		// The series was scanned at upload time; only the query needs
+		// checking — keeps the submit path O(1) in the series length.
+		if err := valmod.ValidateQuery(len(values), req.LMin, req.LMax, opts); err != nil {
+			return nil, err
+		}
+	default:
+		if err := valmod.Validate(req.Values, req.LMin, req.LMax, opts); err != nil {
+			return nil, err
+		}
+		values, hash = req.Values, hashSeries(req.Values)
+	}
+
+	key := resultKey(hash, req.LMin, req.LMax, opts)
+	if res, ok := m.cache.Get(key); ok {
+		return m.cachedJob(res), nil
+	}
+
+	m.mu.Lock()
+	if leader, ok := m.inflight[key]; ok && leader.alive() {
+		// Single-flight: instead of running the discovery twice, hand the
+		// caller a follower job that mirrors the leader's progress and
+		// result under its own ID. Its Cancel withdraws only this
+		// submitter's vote, so clients of a shared discovery stay
+		// isolated from each other's cancellations. Followers hold a
+		// goroutine and a mirrored event log, so they occupy queue slots
+		// like any other live job; the attach is a CAS that refuses
+		// leaders whose last vote is already spent.
+		if m.liveJobs >= m.cfg.MaxQueue {
+			m.mu.Unlock()
+			return nil, ErrQueueFull
+		}
+		if leader.tryAttach() {
+			m.liveJobs++
+			fctx, fcancel := context.WithCancel(context.Background())
+			follower := newJob(newID("j_"), fcancel)
+			follower.ctxDone = fctx.Done()
+			follower.onCancel = func() {
+				fcancel()
+				leader.withdrawVote()
+			}
+			m.registerJobLocked(follower)
+			m.mu.Unlock()
+			m.coalesced.Add(1)
+			go m.follow(fctx, follower, leader)
+			return follower, nil
+		}
+	}
+	// Re-check the cache under the lock: an identical leader may have
+	// finished (Put + inflight cleared) since the lock-free Get above.
+	if res, ok := m.cache.Get(key); ok {
+		m.mu.Unlock()
+		return m.cachedJob(res), nil
+	}
+	if m.liveJobs >= m.cfg.MaxQueue {
+		m.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job := newJob(newID("j_"), cancel)
+	job.ctxDone = ctx.Done()
+	m.liveJobs++
+	m.inflight[key] = job
+	m.registerJobLocked(job)
+	m.mu.Unlock()
+	m.cacheMisses.Add(1)
+
+	go m.run(ctx, job, key, values, req.LMin, req.LMax, opts)
+	return job, nil
+}
+
+// follow mirrors a leader onto a follower job: the running transition and
+// progress events are re-published under the follower's ID, and the
+// leader's terminal outcome becomes the follower's. A canceled follower
+// stops mirroring without touching the leader (its vote withdrawal
+// happens in onCancel).
+func (m *Manager) follow(fctx context.Context, follower, leader *Job) {
+	defer func() {
+		m.mu.Lock()
+		m.liveJobs--
+		m.mu.Unlock()
+	}()
+	defer follower.cancelCtx()
+	next := 0
+	running := false
+	for {
+		leader.mu.Lock()
+		batch := make([]Event, len(leader.events)-next)
+		copy(batch, leader.events[next:])
+		next = len(leader.events)
+		state := leader.state
+		changed := leader.changed
+		leader.mu.Unlock()
+
+		if !running && state == StateRunning {
+			follower.setState(StateRunning)
+			running = true
+		}
+		for _, e := range batch {
+			follower.publish(e)
+		}
+		if state.Terminal() {
+			break
+		}
+		select {
+		case <-changed:
+		case <-fctx.Done():
+			follower.finish(nil, context.Canceled)
+			return
+		}
+	}
+	switch state, res, err := leader.terminalOutcome(); state {
+	case StateDone:
+		follower.finish(res, nil)
+	case StateCanceled:
+		follower.finish(nil, context.Canceled)
+	default:
+		if err == nil {
+			err = errors.New("service: upstream job failed")
+		}
+		follower.finish(nil, err)
+	}
+}
+
+// cachedJob registers and returns a job born done with a cached result.
+func (m *Manager) cachedJob(res *Result) *Job {
+	m.cacheHits.Add(1)
+	job := newJob(newID("j_"), func() {})
+	job.cacheHit = true
+	job.state = StateDone
+	job.result = res
+	m.mu.Lock()
+	m.registerJobLocked(job)
+	m.mu.Unlock()
+	return job
+}
+
+// run executes one job: wait for a slot, run the engine with a per-job
+// progress callback, store the result in the cache, finish the job.
+func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []float64, lmin, lmax int, opts valmod.Options) {
+	// Registered first so it runs last: by the time the in-flight slot
+	// clears, the job is terminal and (on success) the result is cached,
+	// so a concurrent identical Submit finds either this job or the cache.
+	defer m.clearInflight(key, job)
+	defer job.cancelCtx() // release the context's resources
+	select {
+	case m.sem <- struct{}{}:
+		defer func() { <-m.sem }()
+	case <-ctx.Done():
+		job.finish(nil, ctx.Err())
+		return
+	}
+	job.setState(StateRunning)
+
+	// Clamp client-supplied parallelism to the machine: each engine worker
+	// clones O(n) FFT scratch, so an unbounded request could multiply
+	// memory and oversubscribe every core MaxConcurrent is meant to
+	// protect. Sound because Workers never changes the output (it is
+	// excluded from the cache key for the same reason).
+	if limit := runtime.GOMAXPROCS(0); opts.Workers <= 0 || opts.Workers > limit {
+		opts.Workers = limit
+	}
+
+	opts.Progress = func(p valmod.Progress) {
+		job.publish(Event{Done: p.Done, Total: p.Total, Length: p.Result.Length})
+	}
+	m.engineRuns.Add(1)
+	res, err := m.base.WithOptions(opts).DiscoverContext(ctx, values, lmin, lmax)
+	if err != nil {
+		job.finish(nil, err)
+		return
+	}
+	out := ResultOf(res)
+	m.cache.Put(key, out)
+	job.finish(out, nil)
+}
+
+// clearInflight releases the single-flight slot job holds for key and
+// returns its live-queue slot.
+func (m *Manager) clearInflight(key cacheKey, job *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inflight[key] == job {
+		delete(m.inflight, key)
+	}
+	m.liveJobs--
+}
+
+// registerJobLocked adds the job to the table, evicting the oldest
+// terminal jobs above the retention cap. Live jobs are never evicted.
+// Callers hold m.mu.
+func (m *Manager) registerJobLocked(job *Job) {
+	m.jobs[job.ID] = job
+	m.jobOrder = append(m.jobOrder, job.ID)
+	if len(m.jobOrder) <= m.cfg.MaxJobs {
+		return
+	}
+	kept := m.jobOrder[:0]
+	excess := len(m.jobOrder) - m.cfg.MaxJobs
+	for _, id := range m.jobOrder {
+		if excess > 0 {
+			if j, ok := m.jobs[id]; ok && j.terminal() {
+				delete(m.jobs, id)
+				excess--
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	m.jobOrder = kept
+}
+
+// Job looks a job up by ID.
+func (m *Manager) Job(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel withdraws one submitter from a job by ID (the job stops once
+// every attached submitter has canceled); it reports whether the ID was
+// known.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Job(id)
+	if ok {
+		j.Cancel()
+	}
+	return ok
+}
+
+// Shutdown force-cancels every live job (ignoring cancellation votes) so
+// the process can exit promptly. The manager remains usable, but a
+// serving process calls this only on its way down.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	jobs := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		jobs = append(jobs, j)
+	}
+	m.mu.Unlock()
+	for _, j := range jobs {
+		j.forceCancel()
+	}
+}

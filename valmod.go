@@ -15,10 +15,18 @@ import (
 )
 
 // ErrBadInput is returned for inconsistent arguments (empty series, bad
-// length ranges, non-finite values).
+// length ranges, invalid options, non-finite values). Every validation
+// failure wraps ErrBadInput and names the offending argument or Options
+// field — "Options.TopK=-1: …", "lmin=2: …", "values[17]: …" — so callers
+// can test with errors.Is and surface the message verbatim.
 var ErrBadInput = errors.New("valmod: bad input")
 
 // Options tunes Discover. The zero value selects the published defaults.
+//
+// Validation contract: for every numeric field, zero selects the default;
+// a negative value (and, for RecomputeFraction, a non-finite value or one
+// above 1) is rejected with an error that wraps ErrBadInput and names the
+// field. Use Validate to check a full input set without running anything.
 type Options struct {
 	// TopK is the number of motif pairs reported per length (default 10).
 	TopK int
@@ -45,7 +53,8 @@ type Options struct {
 	// Progress, when non-nil, is called after each subsequence length
 	// completes (ℓmin first, then in increasing length order), on the
 	// goroutine running the discovery. A slow callback slows the run;
-	// cancellation is still honored between lengths.
+	// cancellation is still honored between lengths, between seed blocks,
+	// and between recompute rounds.
 	Progress func(Progress)
 }
 
@@ -58,33 +67,37 @@ type Progress struct {
 	Result LengthResult
 }
 
-// MotifPair is a pair of similar subsequences.
+// MotifPair is a pair of similar subsequences. It doubles as the wire DTO
+// of the serving layer, hence the JSON tags.
 type MotifPair struct {
 	// A and B are the subsequence offsets, A < B.
-	A, B int
+	A int `json:"a"`
+	B int `json:"b"`
 	// Length is the subsequence length the pair was found at.
-	Length int
+	Length int `json:"length"`
 	// Distance is the z-normalized Euclidean distance.
-	Distance float64
+	Distance float64 `json:"distance"`
 	// NormDistance is Distance·√(1/Length), comparable across lengths.
-	NormDistance float64
+	NormDistance float64 `json:"norm_distance"`
 }
 
 func (p MotifPair) String() string {
 	return fmt.Sprintf("motif{A=%d B=%d len=%d d=%.4f dn=%.4f}", p.A, p.B, p.Length, p.Distance, p.NormDistance)
 }
 
-// LengthResult is the exact result for one subsequence length.
+// LengthResult is the exact result for one subsequence length. It doubles
+// as the wire DTO of the serving layer, hence the JSON tags.
 type LengthResult struct {
 	// Length is the subsequence length.
-	Length int
+	Length int `json:"length"`
 	// Pairs are the exact top-k motif pairs, ascending distance.
-	Pairs []MotifPair
+	Pairs []MotifPair `json:"pairs"`
 	// Certified counts anchors resolved by the lower bound alone;
 	// Recomputed counts per-anchor recomputations; FullRecompute marks a
 	// wholesale fallback. Together they instrument the pruning.
-	Certified, Recomputed int
-	FullRecompute         bool
+	Certified     int  `json:"certified"`
+	Recomputed    int  `json:"recomputed"`
+	FullRecompute bool `json:"full_recompute"`
 }
 
 // VALMAP is the variable-length matrix profile (demo Figure 1 d–f): for
@@ -156,6 +169,86 @@ func NewEngine(opts Options) *Engine {
 // Options echoes the engine's configuration.
 func (e *Engine) Options() Options { return e.opts }
 
+// WithOptions returns an Engine bound to opts that shares e's pooled
+// scratch (FFT correlator buffers, STOMP/MASS rows). It is how a serving
+// layer gives every job its own Options — in particular a per-job Progress
+// callback — without abandoning the warm pools a long-lived engine has
+// built up. Both engines stay safe for concurrent use.
+func (e *Engine) WithOptions(opts Options) *Engine {
+	return &Engine{opts: opts, core: e.core}
+}
+
+// validate enforces the Options contract: zero selects a default, anything
+// else out of range is an error wrapping ErrBadInput that names the field.
+func (o Options) validate() error {
+	if o.TopK < 0 {
+		return fmt.Errorf("%w: Options.TopK=%d: must be >= 0 (0 selects the default)", ErrBadInput, o.TopK)
+	}
+	if o.P < 0 {
+		return fmt.Errorf("%w: Options.P=%d: must be >= 0 (0 selects the default)", ErrBadInput, o.P)
+	}
+	if o.ExclusionFactor < 0 {
+		return fmt.Errorf("%w: Options.ExclusionFactor=%d: must be >= 0 (0 selects the default)", ErrBadInput, o.ExclusionFactor)
+	}
+	if math.IsNaN(o.RecomputeFraction) || o.RecomputeFraction < 0 || o.RecomputeFraction > 1 {
+		return fmt.Errorf("%w: Options.RecomputeFraction=%v: must be in [0, 1] (0 selects the default)", ErrBadInput, o.RecomputeFraction)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: Options.Workers=%d: must be >= 0 (0 selects all cores)", ErrBadInput, o.Workers)
+	}
+	return nil
+}
+
+// ValidateSeries checks that values is a non-empty, all-finite series —
+// the data half of Validate's contract. Serving layers use it to reject
+// bad data at upload time, before any job references it.
+func ValidateSeries(values []float64) error {
+	if len(values) == 0 {
+		return fmt.Errorf("%w: values: empty series", ErrBadInput)
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: values[%d]: non-finite value %v", ErrBadInput, i, v)
+		}
+	}
+	return nil
+}
+
+// ValidateQuery checks the [lmin, lmax] range against a series of length
+// n and the opts — everything Validate checks except the O(n) series
+// scan. Serving layers use it for series already validated at upload
+// time.
+func ValidateQuery(n, lmin, lmax int, opts Options) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	return validateRange(n, lmin, lmax)
+}
+
+// validateRange delegates to the engine's own rule so the pre-flight
+// contract ("nil iff Discover would start") cannot drift from it.
+func validateRange(n, lmin, lmax int) error {
+	if err := core.ValidateRange(n, lmin, lmax); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return nil
+}
+
+// Validate checks values, the [lmin, lmax] range and opts exactly as
+// Discover would, without running anything. It returns nil when Discover
+// would start, and otherwise an error wrapping ErrBadInput that names the
+// offending argument or Options field. Serving layers use it to reject bad
+// submissions synchronously.
+func Validate(values []float64, lmin, lmax int, opts Options) error {
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	if err := ValidateSeries(values); err != nil {
+		return err
+	}
+	return validateRange(len(values), lmin, lmax)
+}
+
 // Discover runs VALMOD over values for every subsequence length in
 // [lmin, lmax].
 func (e *Engine) Discover(values []float64, lmin, lmax int) (*Result, error) {
@@ -163,17 +256,13 @@ func (e *Engine) Discover(values []float64, lmin, lmax int) (*Result, error) {
 }
 
 // DiscoverContext is Discover with cooperative cancellation, checked
-// between lengths. On cancellation it returns ctx.Err().
+// between lengths, between seed blocks, and between recompute rounds. On
+// cancellation it returns ctx.Err().
 func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lmax int) (*Result, error) {
-	if len(values) == 0 {
-		return nil, fmt.Errorf("%w: empty series", ErrBadInput)
-	}
-	for i, v := range values {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return nil, fmt.Errorf("%w: non-finite value at index %d", ErrBadInput, i)
-		}
-	}
 	opts := e.opts
+	if err := Validate(values, lmin, lmax, opts); err != nil {
+		return nil, err
+	}
 	cfg := core.Config{
 		LMin:              lmin,
 		LMax:              lmax,
@@ -227,7 +316,8 @@ func Discover(values []float64, lmin, lmax int, opts Options) (*Result, error) {
 }
 
 // DiscoverContext is Discover with cooperative cancellation, checked
-// between lengths. On cancellation it returns ctx.Err().
+// between lengths, between seed blocks, and between recompute rounds. On
+// cancellation it returns ctx.Err().
 func DiscoverContext(ctx context.Context, values []float64, lmin, lmax int, opts Options) (*Result, error) {
 	e := Engine{opts: opts, core: defaultCore}
 	return e.DiscoverContext(ctx, values, lmin, lmax)
