@@ -5,18 +5,26 @@
 // reproduced are relative (which algorithm wins, where timeouts start, how
 // time grows), which survive the scaling.
 //
+// Besides the figures, -bench-json runs a small fixed benchmark suite —
+// pairs-only vs pairs+discords over the same generated datasets — and
+// emits machine-readable JSON, so successive PRs can track the engine's
+// speed from committed baselines (BENCH_PR3.json is the first).
+//
 // Usage:
 //
 //	valmod-experiments -fig 1left
 //	valmod-experiments -fig 3top -n 20000 -timeout 2m
 //	valmod-experiments -fig all
+//	valmod-experiments -bench-json -bench-out BENCH_PR3.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,12 +50,124 @@ func main() {
 		sizes   = flag.String("sizes", "5000,10000,20000,30000,50000", "series sizes for Figure 3 (bottom)")
 		ranges  = flag.String("ranges", "10,20,50,100,200", "length ranges for Figure 3 (top)")
 		workers = flag.Int("workers", 1, "goroutines for VALMOD's data-parallel phases in Figure 3 (default 1: the competitors are single-threaded, matching the paper's C implementations; output is identical at any setting)")
+		bench   = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
+		benchN  = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
+		out     = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
 	)
 	flag.Parse()
+	if *bench {
+		if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*fig, *n, *lmin, *timeout, *seed, parseInts(*sizes), parseInts(*ranges), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// benchCase is one timed engine run of the -bench-json suite. Everything
+// that pins the workload (dataset, sizes, options) is echoed so a stored
+// baseline is self-describing; best_norm_dist / top_discord_norm_dist
+// anchor the output so a speedup that silently changed results shows up
+// in the diff.
+type benchCase struct {
+	Name               string  `json:"name"`
+	Dataset            string  `json:"dataset"`
+	N                  int     `json:"n"`
+	LMin               int     `json:"lmin"`
+	LMax               int     `json:"lmax"`
+	TopK               int     `json:"topk"`
+	Discords           int     `json:"discords"`
+	Workers            int     `json:"workers"`
+	Seconds            float64 `json:"seconds"`
+	Lengths            int     `json:"lengths"`
+	CertifiedAnchors   int     `json:"certified_anchors"`
+	RecomputedAnchors  int     `json:"recomputed_anchors"`
+	FullRecomputes     int     `json:"full_recomputes"`
+	BestNormDist       float64 `json:"best_norm_dist"`
+	TopDiscordNormDist float64 `json:"top_discord_norm_dist,omitempty"`
+}
+
+// benchReport is the whole -bench-json document.
+type benchReport struct {
+	GoVersion string      `json:"go_version"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Seed      int64       `json:"seed"`
+	Cases     []benchCase `json:"cases"`
+}
+
+// runBenchJSON times the fixed benchmark grid: for each dataset, one
+// pairs-only run (the pruned plan) and one pairs+discords run (the exact
+// full-profile plan) over the same series and length range. Timings are
+// machine-dependent; the result anchors are not (fixed seed, fixed
+// grids), so baseline diffs separate "faster/slower" from "different".
+func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
+	const rangeLen = 20
+	rep := benchReport{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      seed,
+	}
+	for _, ds := range []string{"ecg", "astro"} {
+		s, err := gen.Dataset(ds, n, seed)
+		if err != nil {
+			return err
+		}
+		for _, discords := range []int{0, 5} {
+			opts := valmod.Options{TopK: 10, Discords: discords, Workers: workers}
+			start := time.Now()
+			res, err := valmod.Discover(s.Values, lmin, lmin+rangeLen-1, opts)
+			if err != nil {
+				return err
+			}
+			elapsed := time.Since(start)
+			kind := "pairs"
+			if discords > 0 {
+				kind = "pairs+discords"
+			}
+			bc := benchCase{
+				Name:    fmt.Sprintf("%s/%s", ds, kind),
+				Dataset: ds, N: n,
+				LMin: lmin, LMax: lmin + rangeLen - 1,
+				TopK: opts.TopK, Discords: discords, Workers: workers,
+				Seconds: elapsed.Seconds(),
+				Lengths: len(res.PerLength),
+			}
+			for _, lr := range res.PerLength {
+				bc.CertifiedAnchors += lr.Certified
+				bc.RecomputedAnchors += lr.Recomputed
+				if lr.FullRecompute {
+					bc.FullRecomputes++
+				}
+			}
+			if best, ok := res.BestOverall(); ok {
+				bc.BestNormDist = best.NormDistance
+			}
+			if len(res.Discords) > 0 {
+				bc.TopDiscordNormDist = res.Discords[0].NormDistance
+			}
+			rep.Cases = append(rep.Cases, bc)
+		}
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func parseInts(csv string) []int {

@@ -7,6 +7,7 @@
 //
 //	valmod -in series.txt -lmin 50 -lmax 400 [-k 10] [-p 10] [-valmap out.json]
 //	valmod -dataset ecg -n 20000 -lmin 50 -lmax 400 -workers 0 -progress
+//	valmod -dataset ecg -n 20000 -lmin 50 -lmax 400 -discords 5
 package main
 
 import (
@@ -33,12 +34,13 @@ func main() {
 		p       = flag.Int("p", 10, "entries kept per partial distance profile")
 		workers = flag.Int("workers", 0, "goroutines for the data-parallel phases (0 = all cores, 1 = serial; output is identical at any setting)")
 		recomp  = flag.Float64("recompute-fraction", 0, "fraction of anchors above which a length is recomputed wholesale (0 selects the default 0.05)")
+		disc    = flag.Int("discords", 0, "also report this many exact variable-length discords (0 disables; forces the full per-length profile pass)")
 		progr   = flag.Bool("progress", false, "report each completed length on stderr")
 		out     = flag.String("valmap", "", "write VALMAP JSON to this path")
 		quiet   = flag.Bool("quiet", false, "suppress plots, print only the summary")
 	)
 	flag.Parse()
-	opts := valmod.Options{TopK: *topK, P: *p, Workers: *workers, RecomputeFraction: *recomp}
+	opts := valmod.Options{TopK: *topK, P: *p, Workers: *workers, RecomputeFraction: *recomp, Discords: *disc}
 	if err := run(*in, *dataset, *n, *seed, *lmin, *lmax, opts, *progr, *out, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "valmod:", err)
 		os.Exit(1)
@@ -103,6 +105,14 @@ func run(in, dataset string, n int, seed int64, lmin, lmax int, opts valmod.Opti
 		fmt.Printf("  %2d. offsets %6d / %-6d length %4d  d=%.4f  dn=%.4f\n",
 			i+1, m.A, m.B, m.Length, m.Distance, m.NormDistance)
 	}
+	if len(res.Discords) > 0 {
+		fmt.Printf("\ntop discords across lengths (length-normalized, most anomalous first):\n")
+		for i, d := range res.Discords {
+			fmt.Printf("  %2d. offset %6d  length %4d  d=%.4f  dn=%.4f\n",
+				i+1, d.Offset, d.Length, d.Distance, d.NormDistance)
+		}
+	}
+
 	if best, ok := res.BestOverall(); ok {
 		set, err := res.MotifSet(best, 0)
 		if err == nil {

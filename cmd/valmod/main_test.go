@@ -15,6 +15,10 @@ func TestRunWithDataset(t *testing.T) {
 	if err := run("", "sinemix", 1500, 1, 32, 64, valmod.Options{TopK: 3, P: 5}, false, out, true); err != nil {
 		t.Fatal(err)
 	}
+	// The -discords path exercises the full-profile plan end to end.
+	if err := run("", "sinemix", 800, 1, 16, 24, valmod.Options{TopK: 2, Discords: 3}, false, "", true); err != nil {
+		t.Fatal(err)
+	}
 	f, err := os.Open(out)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,128 @@
+package valmod_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+// TestDiscoverDiscords covers the variable-length discord surface of the
+// public API: shape and internal consistency of Result.Discords, the
+// cross-length ranking invariant, and bit-identical output across worker
+// counts (the full-profile pass runs on fixed grids like every other
+// phase).
+func TestDiscoverDiscords(t *testing.T) {
+	s := gen.RandomWalk(900, 9)
+	// Plant a spike so at least one unambiguous anomaly exists.
+	s.Values[450] += 25
+
+	res, err := valmod.Discover(s.Values, 16, 40, valmod.Options{TopK: 2, Discords: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Discords) == 0 {
+		t.Fatal("no discords reported")
+	}
+	if len(res.Discords) > 4 {
+		t.Fatalf("%d discords, want at most 4", len(res.Discords))
+	}
+	for i, d := range res.Discords {
+		if d.Length < 16 || d.Length > 40 {
+			t.Errorf("discord %d: length %d outside [16,40]", i, d.Length)
+		}
+		if d.Offset < 0 || d.Offset+d.Length > 900 {
+			t.Errorf("discord %d: window [%d,%d) outside the series", i, d.Offset, d.Offset+d.Length)
+		}
+		if want := d.Distance * math.Sqrt(1/float64(d.Length)); math.Abs(d.NormDistance-want) > 1e-12 {
+			t.Errorf("discord %d: NormDistance %g, want %g", i, d.NormDistance, want)
+		}
+		if i > 0 && d.NormDistance > res.Discords[i-1].NormDistance+1e-12 {
+			t.Errorf("discord %d: ranking not descending (%g after %g)", i, d.NormDistance, res.Discords[i-1].NormDistance)
+		}
+	}
+
+	parallel, err := valmod.Discover(s.Values, 16, 40, valmod.Options{TopK: 2, Discords: 4, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel.Discords) != len(res.Discords) {
+		t.Fatalf("workers=4: %d discords vs %d", len(parallel.Discords), len(res.Discords))
+	}
+	for i := range res.Discords {
+		if parallel.Discords[i] != res.Discords[i] {
+			t.Fatalf("workers=4 discord %d: %v vs %v", i, parallel.Discords[i], res.Discords[i])
+		}
+	}
+
+	// Discords off → no discord slice and no full-profile cost.
+	plain, err := valmod.Discover(s.Values, 16, 40, valmod.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Discords != nil {
+		t.Fatalf("Discords disabled but %d reported", len(plain.Discords))
+	}
+}
+
+// TestMotifSetErrorPaths covers Result.MotifSet's failure contract: a
+// pair that does not fit the series must be rejected with an error
+// wrapping ErrBadInput, never a panic or a silent empty set.
+func TestMotifSetErrorPaths(t *testing.T) {
+	s := gen.SineMix(400)
+	res, err := valmod.Discover(s.Values, 16, 24, valmod.Options{TopK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []valmod.MotifPair{
+		{A: -1, B: 100, Length: 16},     // negative offset
+		{A: 0, B: 395, Length: 16},      // B window runs past the series
+		{A: 0, B: 100, Length: 0},       // degenerate length
+		{A: 0, B: 100, Length: 401},     // longer than the series
+		{A: 1 << 30, B: 100, Length: 8}, // far out of range
+	}
+	for _, p := range bad {
+		set, err := res.MotifSet(p, 0)
+		if err == nil {
+			t.Errorf("MotifSet(%+v) = %d members, want error", p, len(set))
+			continue
+		}
+		if !errors.Is(err, valmod.ErrBadInput) {
+			t.Errorf("MotifSet(%+v) error %v does not wrap ErrBadInput", p, err)
+		}
+	}
+	// The happy path still works on the same result.
+	if best, ok := res.BestOverall(); ok {
+		if _, err := res.MotifSet(best, 0); err != nil {
+			t.Errorf("MotifSet on the best pair failed: %v", err)
+		}
+	}
+}
+
+// TestVALMAPStateAtErrorPaths covers the StateAt range contract on the
+// public VALMAP facade: lengths outside [lmin, lmax] error, boundary
+// lengths succeed.
+func TestVALMAPStateAtErrorPaths(t *testing.T) {
+	s := gen.SineMix(500)
+	res, err := valmod.Discover(s.Values, 20, 36, valmod.Options{TopK: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range []int{19, 37, 0, -5, 1 << 20} {
+		if _, _, _, err := res.VALMAP.StateAt(l); err == nil {
+			t.Errorf("StateAt(%d) succeeded outside [20,36]", l)
+		}
+	}
+	for _, l := range []int{20, 36} {
+		mpn, ip, lp, err := res.VALMAP.StateAt(l)
+		if err != nil {
+			t.Errorf("StateAt(%d): %v", l, err)
+			continue
+		}
+		if len(mpn) != len(res.VALMAP.MPn) || len(ip) != len(mpn) || len(lp) != len(mpn) {
+			t.Errorf("StateAt(%d): inconsistent slice lengths", l)
+		}
+	}
+}

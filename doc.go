@@ -25,6 +25,14 @@
 //	})
 //	res, err := eng.Discover(values, 50, 400)
 //
+// Options.Discords additionally reports the top-k variable-length
+// discords — the subsequences whose nearest non-trivial neighbor is
+// farthest (exact NN distances) — ranked across lengths by the
+// length-normalized distance.
+// Internally every per-length result flows through a sink pipeline
+// (internal/core); discords are its first consumer requiring the exact
+// full profile per length.
+//
 // Fixed-length helpers (MatrixProfile, DistanceProfile) expose the
 // substrate directly, and ExpandMotifSet grows any discovered pair into the
 // full set of its occurrences.

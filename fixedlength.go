@@ -2,6 +2,7 @@ package valmod
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/seriesmining/valmod/internal/mass"
 	"github.com/seriesmining/valmod/internal/profile"
@@ -41,12 +42,15 @@ func (fp *FixedProfile) TopPairs(k int) []MotifPair {
 }
 
 // Discords extracts the k most anomalous subsequences (largest
-// nearest-neighbor distance).
-func (fp *FixedProfile) Discords(k int) []SetMember {
+// nearest-neighbor distance), de-duplicated by the trivial-match zone.
+// The result shares the Discord wire DTO with the variable-length
+// Result.Discords; Length is the profile's fixed length on every entry.
+func (fp *FixedProfile) Discords(k int) []Discord {
 	ds := fp.asInternal().TopKDiscords(k)
-	out := make([]SetMember, len(ds))
+	norm := math.Sqrt(1 / float64(fp.Length))
+	out := make([]Discord, len(ds))
 	for i, d := range ds {
-		out[i] = SetMember{Offset: d.I, Distance: d.Dist}
+		out[i] = Discord{Offset: d.I, Length: fp.Length, Distance: d.Dist, NormDistance: d.Dist * norm}
 	}
 	return out
 }

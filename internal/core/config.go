@@ -27,7 +27,9 @@
 // The implementation is structured as a pipeline around a reusable Engine:
 // config.go (parameters), engine.go (Engine, pooled scratch, the per-run
 // orchestration), seed.go (the ℓmin seed / full-recompute block scan),
-// length.go (the per-length advance→certify→recompute loop), result.go
+// length.go (the per-length advance→certify→recompute loop and the exact
+// full-profile pass), sink.go (the per-length Sink pipeline: requirement
+// planning plus the built-in pairs, VALMAP and discord sinks), result.go
 // (outputs), with the per-anchor state in internal/core/anchors.
 package core
 
@@ -72,6 +74,16 @@ type Config struct {
 	// DisablePruning forces a full recompute at every length — the
 	// lower-bound ablation. The output is identical; only time changes.
 	DisablePruning bool
+	// Discords, when positive, reports that many variable-length
+	// discords (Result.Discords): per length the k largest exact NN
+	// distances with trivial-match de-dup, then ranked across lengths by
+	// length-normalized distance under cross-length exclusion (see
+	// discordSink). The exact per-offset NN distances require the
+	// FullProfile plan, so a positive value switches the length loop to
+	// the exact per-length profile pass (pairs and VALMAP stay
+	// equivalent within floating tolerance; per-length resolution stats
+	// report full recomputes).
+	Discords int
 	// Workers bounds the goroutines used by the data-parallel phases: the
 	// ℓmin seed, full-recompute fallbacks, and the per-length
 	// advance→certify pass over anchor shards. 0 selects GOMAXPROCS;

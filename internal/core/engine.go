@@ -8,7 +8,6 @@ import (
 	"github.com/seriesmining/valmod/internal/core/anchors"
 	"github.com/seriesmining/valmod/internal/fft"
 	"github.com/seriesmining/valmod/internal/series"
-	"github.com/seriesmining/valmod/internal/valmap"
 )
 
 // Engine is a reusable VALMOD pipeline. It owns the pooled scratch rows
@@ -64,7 +63,6 @@ type run struct {
 	sMin    int
 	workers int
 	store   *anchors.Store
-	vmap    *valmap.VALMAP
 
 	// scratch per length
 	dists   []float64 // best retained pair distance per anchor
@@ -74,6 +72,12 @@ type run struct {
 
 	// corr amortizes the series-side FFT across every recompute query.
 	corr *fft.Correlator
+
+	// profileOnly marks a FullProfile-plan run: every length is resolved
+	// by the exact per-length scan, the advance→certify machinery never
+	// runs, so the row scans skip the partial-profile reseed bookkeeping
+	// (the top-p heap and bound terms exist only to feed that machinery).
+	profileOnly bool
 
 	// cached sliding moments of the current working length; invStds[j] is
 	// 1/σ_j (0 for degenerate windows) so the hot loops run division-free
@@ -109,22 +113,58 @@ func (r *run) momentsAt(l int) {
 	r.momentsL = l
 }
 
-// Run executes one VALMOD discovery over t. The pipeline: validate →
-// seed ℓmin (block-parallel STOMP scan, partial profiles retained) →
-// for each longer length, advance→certify across anchor shards, then
-// recompute the uncertified stragglers to a fixpoint. Progress is emitted
-// after every completed length when cfg.OnLength is set.
+// Run executes one VALMOD discovery over t through the built-in sink
+// pipeline: the per-length top-k pairs, the VALMAP, and — when
+// cfg.Discords is positive — exact variable-length discords.
 func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, error) {
 	cfg.Fill()
 	if err := cfg.validate(len(t)); err != nil {
 		return nil, err
 	}
-	n := len(t)
-	sMin := n - cfg.LMin + 1
-	vm, err := valmap.New(cfg.LMin, cfg.LMax, sMin)
+	pairs := &pairsSink{}
+	vms, err := newValmapSink(cfg.LMin, cfg.LMax, len(t)-cfg.LMin+1)
 	if err != nil {
 		return nil, err
 	}
+	sinks := []Sink{pairs, vms}
+	var ds *discordSink
+	if cfg.Discords > 0 {
+		ds = newDiscordSink(cfg.Discords, cfg.ExclusionFactor)
+		sinks = append(sinks, ds)
+	}
+	if err := e.RunSinks(ctx, t, cfg, sinks...); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		N:         len(t),
+		Cfg:       cfg,
+		MPMin:     pairs.mpMin,
+		PerLength: pairs.perLength,
+		VMap:      vms.vm,
+	}
+	if ds != nil {
+		res.Discords = ds.Discords()
+	}
+	return res, nil
+}
+
+// RunSinks executes the VALMOD length loop and streams each completed
+// length into the registered sinks. The per-length work is planned from
+// the union of the sink requirements: with only TopKPairs sinks the
+// pruned pipeline runs (seed ℓmin with a block-parallel STOMP scan, then
+// advance→certify across anchor shards and recompute the uncertified
+// stragglers to a fixpoint); one FullProfile sink — or
+// cfg.DisablePruning — switches every length to the exact STOMP-style
+// per-length pass on the same fixed block grid, so either plan is
+// bit-identical at any worker count. Sinks are consumed in registration
+// order on this goroutine; progress is emitted after every completed
+// length (sinks included) when cfg.OnLength is set.
+func (e *Engine) RunSinks(ctx context.Context, t []float64, cfg Config, sinks ...Sink) error {
+	cfg.Fill()
+	if err := cfg.validate(len(t)); err != nil {
+		return err
+	}
+	sMin := len(t) - cfg.LMin + 1
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -138,7 +178,6 @@ func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, err
 		sMin:    sMin,
 		workers: workers,
 		store:   anchors.NewStore(sMin, hotRowBudgetBytes),
-		vmap:    vm,
 		dists:   make([]float64, sMin),
 		indexes: make([]int, sMin),
 		maxLBs:  make([]float64, sMin),
@@ -147,53 +186,51 @@ func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, err
 	}
 	defer r.corr.Release()
 
-	res := &Result{N: n, Cfg: cfg, VMap: vm}
+	fullEveryLength := cfg.DisablePruning || planRequirement(sinks) == FullProfile
+	r.profileOnly = fullEveryLength
 	total := cfg.LMax - cfg.LMin + 1
-	emit := func(lr LengthResult, done int) {
+	dispatch := func(ld LengthData, done int) {
+		for _, s := range sinks {
+			s.Consume(ld)
+		}
 		if cfg.OnLength != nil {
-			cfg.OnLength(Progress{Done: done, Total: total, Result: lr})
+			cfg.OnLength(Progress{Done: done, Total: total, Result: ld.Result})
 		}
 	}
 
 	// Phase 1: exact matrix profile at ℓmin + initial partial profiles.
+	// The ℓmin profile is always computed in full, so it is delivered to
+	// the sinks on every plan.
 	mpMin, err := r.seedAll(cfg.LMin)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	res.MPMin = mpMin
 	first := LengthResult{M: cfg.LMin, Pairs: mpMin.TopKPairs(cfg.TopK)}
 	first.Stats.FullRecompute = true
-	res.PerLength = append(res.PerLength, first)
+	dispatch(LengthData{L: cfg.LMin, Result: first, Profile: mpMin}, 1)
 
-	// VALMAP starts as the length-normalized ℓmin profile (flat LP).
-	for i := 0; i < sMin; i++ {
-		if mpMin.Index[i] >= 0 {
-			vm.InitFromProfile(i, series.LengthNormalize(mpMin.Dist[i], cfg.LMin), mpMin.Index[i], cfg.LMin)
-		}
-	}
-	vm.Seal()
-	emit(first, 1)
-
-	// Phase 2: longer lengths.
+	// Phase 2: longer lengths, planned per the sink requirements.
 	for l := cfg.LMin + 1; l <= cfg.LMax; l++ {
 		select {
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return ctx.Err()
 		default:
 		}
-		lr, err := r.processLength(l)
-		if err != nil {
-			return nil, err
+		var ld LengthData
+		if fullEveryLength {
+			lr, mp, err := r.processLengthFull(l)
+			if err != nil {
+				return err
+			}
+			ld = LengthData{L: l, Result: lr, Profile: mp}
+		} else {
+			lr, err := r.processLength(l)
+			if err != nil {
+				return err
+			}
+			ld = LengthData{L: l, Result: lr}
 		}
-		vm.BeginLength(l)
-		for _, p := range lr.Pairs {
-			nd := p.NormDist()
-			vm.Apply(p.A, nd, p.B, l)
-			vm.Apply(p.B, nd, p.A, l)
-		}
-		vm.EndLength()
-		res.PerLength = append(res.PerLength, lr)
-		emit(lr, l-cfg.LMin+1)
+		dispatch(ld, l-cfg.LMin+1)
 	}
-	return res, nil
+	return nil
 }

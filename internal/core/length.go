@@ -19,6 +19,30 @@ const hotRowBudgetBytes = 64 << 20
 // than the work).
 const advanceShardRows = 256
 
+// processLengthFull resolves length l with the exact per-length profile
+// pass (the stomprange recurrence on the seed's fixed block grid) and
+// returns both the top-k pairs and the full profile — the FullProfile
+// plan, serving every sink requirement at once. Also the DisablePruning
+// ablation path: output is identical to the pruned plan, only time (and
+// the resolution stats) change.
+func (r *run) processLengthFull(l int) (LengthResult, *profile.MatrixProfile, error) {
+	s := len(r.t) - l + 1
+	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
+	lr := LengthResult{M: l}
+
+	if s <= excl {
+		// No non-trivial pair (hence no finite NN distance) can exist.
+		return lr, nil, nil
+	}
+	mp, err := r.fullRecompute(l)
+	if err != nil {
+		return lr, nil, err
+	}
+	lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+	lr.Stats.FullRecompute = true
+	return lr, mp, nil
+}
+
 // processLength resolves length l exactly, using pruning where possible:
 // the data-parallel advance→certify pass over anchor shards, then the
 // serial recompute-to-fixpoint over the (few) uncertified stragglers.
@@ -30,16 +54,6 @@ func (r *run) processLength(l int) (LengthResult, error) {
 
 	if s <= excl {
 		// No non-trivial pair can exist at this length.
-		return lr, nil
-	}
-
-	if r.cfg.DisablePruning {
-		mp, err := r.fullRecompute(l)
-		if err != nil {
-			return lr, err
-		}
-		lr.Pairs = mp.TopKPairs(r.cfg.TopK)
-		lr.Stats.FullRecompute = true
 		return lr, nil
 	}
 

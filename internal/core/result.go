@@ -66,6 +66,10 @@ type Result struct {
 	PerLength []LengthResult
 	// VMap is the VALMAP meta structure (demo Figure 1e-f).
 	VMap *valmap.VALMAP
+	// Discords holds the exact top-k variable-length discords, ranked by
+	// length-normalized NN distance descending; nil unless Cfg.Discords
+	// is positive.
+	Discords []Discord
 }
 
 // GlobalBest returns the best motif pair across all lengths under the

@@ -122,7 +122,15 @@ func (r *run) processRunWith(i0, count, l, excl, s int, mp *profile.MatrixProfil
 // length l (outside the exclusion zone) plus the partial-profile reseed
 // (top-p candidates by q̃²). The moment cache must be filled for l. Each
 // anchor touches only its own state, so rows may be scanned concurrently.
+// On a profileOnly run the reseed feeds nothing (the advance→certify pass
+// never runs), so the row takes the lean profile-only scan instead — the
+// correlation compare is the identical expression, so the profile values
+// are bit-for-bit the same on either path.
 func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
+	if r.profileOnly {
+		r.scanRowProfileOnly(i, l, excl, s, row, mp)
+		return
+	}
 	p := r.cfg.P
 	means, invs := r.means, r.invStds
 	fl := float64(l)
@@ -187,6 +195,48 @@ func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfil
 		lb.Heapify(a.Entries)
 	}
 	a.NextQ2 = bestRejQ2
+	if bestJ >= 0 {
+		if bestCorr > 1 {
+			bestCorr = 1
+		} else if bestCorr < -1 {
+			bestCorr = -1
+		}
+		mp.Update(i, math.Sqrt(2*fl*(1-bestCorr)), bestJ)
+	}
+}
+
+// scanRowProfileOnly is scanRow minus the partial-profile bookkeeping:
+// just the exact nearest neighbor of anchor i from its dot-product row.
+// It must mirror scanRow's arithmetic exactly (same correlation
+// expression, same degenerate fallback) so the two paths produce
+// bit-identical profiles.
+func (r *run) scanRowProfileOnly(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
+	means, invs := r.means, r.invStds
+	fl := float64(l)
+	muA := means[i]
+	invA := invs[i]
+	if invA == 0 {
+		for j := 0; j < s; j++ {
+			if j > i-excl && j < i+excl {
+				continue
+			}
+			d := series.DistFromDot(row[j], fl, muA, 0, means[j], r.stds[j])
+			mp.Update(i, d, j)
+		}
+		return
+	}
+	bestCorr := math.Inf(-1)
+	bestJ := -1
+	lo, hi := i-excl, i+excl
+	for j := 0; j < s; j++ {
+		if j > lo && j < hi {
+			continue
+		}
+		corr := (row[j]/fl - muA*means[j]) * invA * invs[j]
+		if corr > bestCorr {
+			bestCorr, bestJ = corr, j
+		}
+	}
 	if bestJ >= 0 {
 		if bestCorr > 1 {
 			bestCorr = 1

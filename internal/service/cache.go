@@ -42,8 +42,10 @@ func hashSeries(values []float64) [sha256.Size]byte {
 // and the zero value share an entry. Every field that can change the
 // result bytes participates: TopK and ExclusionFactor change the pairs; P,
 // RecomputeFraction and DisablePruning change the per-length pruning stats
-// the result reports. Workers is excluded — the fixed-grid contract makes
-// output bit-identical at every worker count.
+// the result reports; Discords changes the query kind (it adds the discord
+// payload and switches the engine to the full-profile plan, which also
+// changes the per-length stats). Workers is excluded — the fixed-grid
+// contract makes output bit-identical at every worker count.
 func resultKey(seriesHash [sha256.Size]byte, lmin, lmax int, o valmod.Options) cacheKey {
 	o = normalizeOptions(o)
 	h := sha256.New()
@@ -53,6 +55,7 @@ func resultKey(seriesHash [sha256.Size]byte, lmin, lmax int, o valmod.Options) c
 		uint64(lmin), uint64(lmax),
 		uint64(o.TopK), uint64(o.P), uint64(o.ExclusionFactor),
 		math.Float64bits(o.RecomputeFraction),
+		uint64(o.Discords),
 	} {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])

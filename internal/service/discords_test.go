@@ -1,0 +1,90 @@
+package service
+
+import (
+	"testing"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+// TestDiscordJobs covers the pairs+discords query kind end to end at the
+// manager layer: the service result must be byte-identical to a direct
+// library run with discords enabled, and the discord knob must separate
+// cache entries — a pairs-only result can never answer a discords query
+// (or vice versa), since their payloads and per-length stats differ.
+func TestDiscordJobs(t *testing.T) {
+	m := NewManager(Config{})
+	values := testSeries(700)
+	// A spike makes the top discord unambiguous.
+	values[350] += 20
+
+	plain := JobRequest{Values: values, LMin: 16, LMax: 28, TopK: 3, Workers: 1}
+	withDiscords := plain
+	withDiscords.Discords = 3
+
+	j1, err := m.Submit(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st1 := waitTerminal(t, j1)
+	if st1.State != StateDone {
+		t.Fatalf("pairs job: state=%s err=%q", st1.State, st1.Error)
+	}
+	if len(st1.Result.Discords) != 0 {
+		t.Fatalf("pairs-only result carries %d discords", len(st1.Result.Discords))
+	}
+
+	// Identical series and range but Discords set: must MISS the cache
+	// and run the engine again.
+	j2, err := m.Submit(withDiscords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := waitTerminal(t, j2)
+	if st2.State != StateDone {
+		t.Fatalf("discord job: state=%s err=%q", st2.State, st2.Error)
+	}
+	if st2.CacheHit {
+		t.Fatal("discord query answered from the pairs-only cache entry")
+	}
+	if len(st2.Result.Discords) == 0 {
+		t.Fatal("discord job returned no discords")
+	}
+	direct, err := valmod.Discover(values, withDiscords.LMin, withDiscords.LMax, withDiscords.options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := mustJSON(t, st2.Result), mustJSON(t, ResultOf(direct)); got != want {
+		t.Fatalf("discord service result differs from direct Discover\n got %s\nwant %s", got, want)
+	}
+
+	// Resubmitting the discord query hits its own cache entry.
+	j3, err := m.Submit(withDiscords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st3 := j3.Status()
+	if st3.State != StateDone || !st3.CacheHit {
+		t.Fatalf("repeat discord query: state=%s cacheHit=%v, want done from cache", st3.State, st3.CacheHit)
+	}
+	if got, want := mustJSON(t, st3.Result), mustJSON(t, st2.Result); got != want {
+		t.Fatal("cached discord result differs from the first run")
+	}
+	// …and the pairs-only entry is still alive alongside it.
+	j4, err := m.Submit(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st4 := j4.Status(); st4.State != StateDone || !st4.CacheHit {
+		t.Fatalf("pairs-only query lost its cache entry: state=%s cacheHit=%v", st4.State, st4.CacheHit)
+	}
+	if runs := m.Stats().EngineRuns; runs != 2 {
+		t.Errorf("EngineRuns=%d, want 2 (one per query kind)", runs)
+	}
+
+	// A negative discord count is rejected synchronously, naming the field.
+	bad := plain
+	bad.Discords = -1
+	if _, err := m.Submit(bad); err == nil {
+		t.Error("negative discords accepted")
+	}
+}

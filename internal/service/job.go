@@ -45,11 +45,14 @@ type Result struct {
 	LMax      int                   `json:"lmax"`
 	Best      *valmod.MotifPair     `json:"best,omitempty"`
 	PerLength []valmod.LengthResult `json:"per_length"`
+	// Discords carries the exact variable-length discords of a
+	// pairs+discords query (JobRequest.Discords > 0); omitted otherwise.
+	Discords []valmod.Discord `json:"discords,omitempty"`
 }
 
 // ResultOf converts a library result into the service's wire result.
 func ResultOf(r *valmod.Result) *Result {
-	out := &Result{N: r.N, LMin: r.LMin, LMax: r.LMax, PerLength: r.PerLength}
+	out := &Result{N: r.N, LMin: r.LMin, LMax: r.LMax, PerLength: r.PerLength, Discords: r.Discords}
 	if best, ok := r.BestOverall(); ok {
 		out.Best = &best
 	}

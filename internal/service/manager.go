@@ -67,7 +67,10 @@ var ErrQueueFull = errors.New("service: job queue full, retry later")
 
 // JobRequest is one discovery submission: a series (inline values or a
 // reference to an uploaded one), the length range, and the engine options.
-// Zero option fields select the library defaults.
+// Zero option fields select the library defaults. A positive Discords
+// changes the query kind from pairs-only to pairs+discords: the result
+// additionally carries the exact variable-length discords, and the
+// submission is cached and coalesced separately from pairs-only queries.
 type JobRequest struct {
 	Values            []float64 `json:"values,omitempty"`
 	SeriesID          string    `json:"series_id,omitempty"`
@@ -77,6 +80,7 @@ type JobRequest struct {
 	P                 int       `json:"p,omitempty"`
 	ExclusionFactor   int       `json:"exclusion_factor,omitempty"`
 	RecomputeFraction float64   `json:"recompute_fraction,omitempty"`
+	Discords          int       `json:"discords,omitempty"`
 	Workers           int       `json:"workers,omitempty"`
 }
 
@@ -87,6 +91,7 @@ func (r JobRequest) options() valmod.Options {
 		P:                 r.P,
 		ExclusionFactor:   r.ExclusionFactor,
 		RecomputeFraction: r.RecomputeFraction,
+		Discords:          r.Discords,
 		Workers:           r.Workers,
 	}
 }

@@ -34,6 +34,7 @@ func TestValidateNamesOffendingField(t *testing.T) {
 		{"RecomputeFraction above one", ok, 8, 16, valmod.Options{RecomputeFraction: 1.5}, "Options.RecomputeFraction=1.5"},
 		{"NaN RecomputeFraction", ok, 8, 16, valmod.Options{RecomputeFraction: math.NaN()}, "Options.RecomputeFraction=NaN"},
 		{"negative Workers", ok, 8, 16, valmod.Options{Workers: -4}, "Options.Workers=-4"},
+		{"negative Discords", ok, 8, 16, valmod.Options{Discords: -2}, "Options.Discords=-2"},
 		{"empty series", nil, 8, 16, valmod.Options{}, "values: empty series"},
 		{"non-finite value", nonFinite, 8, 16, valmod.Options{}, "values[2]"},
 		{"lmin too small", ok, 3, 16, valmod.Options{}, "lmin=3"},
@@ -69,7 +70,7 @@ func TestValidateAcceptsDefaults(t *testing.T) {
 	}
 	for _, opts := range []valmod.Options{
 		{},
-		{TopK: 5, P: 8, ExclusionFactor: 4, RecomputeFraction: 0.05, Workers: 2},
+		{TopK: 5, P: 8, ExclusionFactor: 4, RecomputeFraction: 0.05, Workers: 2, Discords: 3},
 		{RecomputeFraction: 1}, // boundary: 1 is valid
 	} {
 		if err := valmod.Validate(ok, 8, 16, opts); err != nil {

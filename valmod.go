@@ -44,6 +44,20 @@ type Options struct {
 	// DisablePruning turns the lower-bound machinery off (ablation only:
 	// identical output, fixed-length recompute per length).
 	DisablePruning bool
+	// Discords, when positive, additionally reports that many
+	// variable-length discords (Result.Discords): the subsequences whose
+	// nearest non-trivial neighbor is farthest. The extraction is
+	// two-stage, mirroring TopMotifs: each length's top-k discords are
+	// taken from that length's exact profile (trivial matches
+	// de-duplicated), then ranked across lengths by the length-normalized
+	// distance under cross-length trivial-match exclusion. Every reported
+	// distance is the exact nearest-neighbor distance, which requires the
+	// exact per-length profile pass — pairs and the VALMAP stay
+	// equivalent (identical pair sets; distances equal within floating
+	// tolerance, as the two plans take different arithmetic paths), but
+	// the run costs one full matrix-profile pass per length instead of
+	// the pruned pass (the per-length stats report full recomputes).
+	Discords int
 	// Workers bounds the goroutines used by the data-parallel phases: the
 	// ℓmin seed, full recomputes, and the per-length advance→certify pass
 	// over anchor shards (0 = all cores, 1 = serial). The work is
@@ -83,6 +97,26 @@ type MotifPair struct {
 
 func (p MotifPair) String() string {
 	return fmt.Sprintf("motif{A=%d B=%d len=%d d=%.4f dn=%.4f}", p.A, p.B, p.Length, p.Distance, p.NormDistance)
+}
+
+// Discord is an anomalous subsequence: the one whose nearest non-trivial
+// neighbor is farthest. It doubles as the wire DTO of the serving layer,
+// hence the JSON tags; fixed-length (FixedProfile.Discords) and
+// variable-length (Result.Discords) discords share this shape.
+type Discord struct {
+	// Offset is the subsequence offset.
+	Offset int `json:"offset"`
+	// Length is the subsequence length the discord was found at.
+	Length int `json:"length"`
+	// Distance is the exact z-normalized distance to the nearest
+	// non-trivial neighbor (larger = more anomalous).
+	Distance float64 `json:"distance"`
+	// NormDistance is Distance·√(1/Length), comparable across lengths.
+	NormDistance float64 `json:"norm_distance"`
+}
+
+func (d Discord) String() string {
+	return fmt.Sprintf("discord{off=%d len=%d d=%.4f dn=%.4f}", d.Offset, d.Length, d.Distance, d.NormDistance)
 }
 
 // LengthResult is the exact result for one subsequence length. It doubles
@@ -146,6 +180,11 @@ type Result struct {
 	ProfileIndex []int
 	// VALMAP is the variable-length meta structure.
 	VALMAP *VALMAP
+	// Discords holds the top-k variable-length discords (exact
+	// nearest-neighbor distances; extraction as documented on
+	// Options.Discords), ranked by length-normalized distance
+	// descending; nil unless Options.Discords was positive.
+	Discords []Discord
 
 	values []float64
 	excl   int
@@ -195,6 +234,9 @@ func (o Options) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("%w: Options.Workers=%d: must be >= 0 (0 selects all cores)", ErrBadInput, o.Workers)
+	}
+	if o.Discords < 0 {
+		return fmt.Errorf("%w: Options.Discords=%d: must be >= 0 (0 disables discord discovery)", ErrBadInput, o.Discords)
 	}
 	return nil
 }
@@ -271,6 +313,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 		ExclusionFactor:   opts.ExclusionFactor,
 		RecomputeFraction: opts.RecomputeFraction,
 		DisablePruning:    opts.DisablePruning,
+		Discords:          opts.Discords,
 		Workers:           opts.Workers,
 	}
 	if cb := opts.Progress; cb != nil {
@@ -294,6 +337,11 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 	}
 	for _, lr := range res.PerLength {
 		out.PerLength = append(out.PerLength, lengthResultFromCore(lr))
+	}
+	for _, d := range res.Discords {
+		out.Discords = append(out.Discords, Discord{
+			Offset: d.I, Length: d.L, Distance: d.Dist, NormDistance: d.NormDist(),
+		})
 	}
 	out.Profile = res.MPMin.Dist
 	out.ProfileIndex = res.MPMin.Index

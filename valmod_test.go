@@ -194,6 +194,14 @@ func TestMatrixProfilePublicAPI(t *testing.T) {
 	if len(discords) == 0 {
 		t.Fatal("no discords")
 	}
+	for _, d := range discords {
+		if d.Length != 100 {
+			t.Errorf("discord length %d, want 100", d.Length)
+		}
+		if want := d.Distance * math.Sqrt(1.0/100); math.Abs(d.NormDistance-want) > 1e-12 {
+			t.Errorf("discord norm distance %g, want %g", d.NormDistance, want)
+		}
+	}
 	if _, err := valmod.MatrixProfile(s.Values, 1, false); err == nil {
 		t.Error("m=1 should fail")
 	}
