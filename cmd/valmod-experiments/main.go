@@ -53,12 +53,22 @@ func main() {
 		bench   = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
 		benchN  = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
 		out     = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
+		parity  = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series and exit non-zero if they disagree on the best pair — the CI smoke check")
 	)
 	flag.Parse()
-	if *bench {
-		if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
-			os.Exit(1)
+	if *bench || *parity {
+		if *bench {
+			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if *parity {
+			if err := runPlanParity(*benchN, *lmin, *seed, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "valmod-experiments: plan parity:", err)
+				os.Exit(1)
+			}
+			fmt.Fprintln(os.Stderr, "plan parity: pruned, full and incremental plans agree")
 		}
 		return
 	}
@@ -74,19 +84,27 @@ func main() {
 // anchor the output so a speedup that silently changed results shows up
 // in the diff.
 type benchCase struct {
-	Name               string  `json:"name"`
-	Dataset            string  `json:"dataset"`
-	N                  int     `json:"n"`
-	LMin               int     `json:"lmin"`
-	LMax               int     `json:"lmax"`
-	TopK               int     `json:"topk"`
-	Discords           int     `json:"discords"`
-	Workers            int     `json:"workers"`
-	Seconds            float64 `json:"seconds"`
-	Lengths            int     `json:"lengths"`
-	CertifiedAnchors   int     `json:"certified_anchors"`
-	RecomputedAnchors  int     `json:"recomputed_anchors"`
-	FullRecomputes     int     `json:"full_recomputes"`
+	Name              string  `json:"name"`
+	Dataset           string  `json:"dataset"`
+	N                 int     `json:"n"`
+	LMin              int     `json:"lmin"`
+	LMax              int     `json:"lmax"`
+	TopK              int     `json:"topk"`
+	Discords          int     `json:"discords"`
+	Workers           int     `json:"workers"`
+	Seconds           float64 `json:"seconds"`
+	Lengths           int     `json:"lengths"`
+	CertifiedAnchors  int     `json:"certified_anchors"`
+	RecomputedAnchors int     `json:"recomputed_anchors"`
+	FullRecomputes    int     `json:"full_recomputes"`
+	// Per-length plan breakdown (valmod.PlanStats): pruned vs incremental
+	// vs from-scratch lengths, plus the incremental engine's head-row
+	// seeds (FFTs) and one-FMA-per-cell extensions.
+	PrunedLengths      int     `json:"pruned_lengths"`
+	IncrementalLengths int     `json:"incremental_lengths,omitempty"`
+	RecomputeLengths   int     `json:"recompute_lengths"`
+	HeadSeeds          int     `json:"head_seeds,omitempty"`
+	HeadExtensions     int     `json:"head_extensions,omitempty"`
 	BestNormDist       float64 `json:"best_norm_dist"`
 	TopDiscordNormDist float64 `json:"top_discord_norm_dist,omitempty"`
 }
@@ -115,13 +133,24 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
 		NumCPU:    runtime.NumCPU(),
 		Seed:      seed,
 	}
+	// The grid: pairs-only (pruned plan) and pairs+discords (incremental
+	// full-profile plan) at the flag's worker count, plus pairs+discords
+	// at workers=4 — the case that exercises the diagonal-block grid's
+	// worker-count independence under time measurement.
+	type benchSpec struct {
+		discords, workers int
+	}
+	specs := []benchSpec{{0, workers}, {5, workers}}
+	if workers != 4 {
+		specs = append(specs, benchSpec{5, 4})
+	}
 	for _, ds := range []string{"ecg", "astro"} {
 		s, err := gen.Dataset(ds, n, seed)
 		if err != nil {
 			return err
 		}
-		for _, discords := range []int{0, 5} {
-			opts := valmod.Options{TopK: 10, Discords: discords, Workers: workers}
+		for _, spec := range specs {
+			opts := valmod.Options{TopK: 10, Discords: spec.discords, Workers: spec.workers}
 			start := time.Now()
 			res, err := valmod.Discover(s.Values, lmin, lmin+rangeLen-1, opts)
 			if err != nil {
@@ -129,16 +158,25 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
 			}
 			elapsed := time.Since(start)
 			kind := "pairs"
-			if discords > 0 {
+			if spec.discords > 0 {
 				kind = "pairs+discords"
 			}
+			name := fmt.Sprintf("%s/%s", ds, kind)
+			if spec.workers != workers {
+				name = fmt.Sprintf("%s@w%d", name, spec.workers)
+			}
 			bc := benchCase{
-				Name:    fmt.Sprintf("%s/%s", ds, kind),
+				Name:    name,
 				Dataset: ds, N: n,
 				LMin: lmin, LMax: lmin + rangeLen - 1,
-				TopK: opts.TopK, Discords: discords, Workers: workers,
-				Seconds: elapsed.Seconds(),
-				Lengths: len(res.PerLength),
+				TopK: opts.TopK, Discords: spec.discords, Workers: spec.workers,
+				Seconds:            elapsed.Seconds(),
+				Lengths:            len(res.PerLength),
+				PrunedLengths:      res.Plan.PrunedLengths,
+				IncrementalLengths: res.Plan.IncrementalLengths,
+				RecomputeLengths:   res.Plan.RecomputeLengths,
+				HeadSeeds:          res.Plan.HeadSeeds,
+				HeadExtensions:     res.Plan.HeadExtensions,
 			}
 			for _, lr := range res.PerLength {
 				bc.CertifiedAnchors += lr.Certified
@@ -168,6 +206,57 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runPlanParity is the CI smoke check for the per-length planner: over
+// each generated dataset, the pruned plan, the from-scratch full plan
+// (DisablePruning + DisableIncremental) and the incremental full plan
+// (DisablePruning) must report the same best motif pair — same offsets and
+// length, length-normalized distance equal within floating tolerance (the
+// three plans take different arithmetic paths, so bit-equality is only
+// guaranteed across worker counts *within* a plan).
+func runPlanParity(n, lmin int, seed int64, workers int) error {
+	const rangeLen = 20
+	for _, ds := range []string{"ecg", "astro"} {
+		s, err := gen.Dataset(ds, n, seed)
+		if err != nil {
+			return err
+		}
+		type plan struct {
+			name string
+			opts valmod.Options
+		}
+		plans := []plan{
+			{"pruned", valmod.Options{TopK: 1, Workers: workers}},
+			{"full", valmod.Options{TopK: 1, Workers: workers, DisablePruning: true, DisableIncremental: true}},
+			{"incremental", valmod.Options{TopK: 1, Workers: workers, DisablePruning: true}},
+		}
+		var refName string
+		var ref valmod.MotifPair
+		for pi, p := range plans {
+			res, err := valmod.Discover(s.Values, lmin, lmin+rangeLen-1, p.opts)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", ds, p.name, err)
+			}
+			best, ok := res.BestOverall()
+			if !ok {
+				return fmt.Errorf("%s/%s: no best pair found", ds, p.name)
+			}
+			if pi == 0 {
+				refName, ref = p.name, best
+				continue
+			}
+			if best.A != ref.A || best.B != ref.B || best.Length != ref.Length {
+				return fmt.Errorf("%s: %s best pair (%d,%d,len=%d) != %s best pair (%d,%d,len=%d)",
+					ds, p.name, best.A, best.B, best.Length, refName, ref.A, ref.B, ref.Length)
+			}
+			if d := best.NormDistance - ref.NormDistance; d > 1e-9*(1+ref.NormDistance) || d < -1e-9*(1+ref.NormDistance) {
+				return fmt.Errorf("%s: %s best norm dist %g vs %s %g",
+					ds, p.name, best.NormDistance, refName, ref.NormDistance)
+			}
+		}
+	}
+	return nil
 }
 
 func parseInts(csv string) []int {

@@ -26,11 +26,14 @@
 //
 // The implementation is structured as a pipeline around a reusable Engine:
 // config.go (parameters), engine.go (Engine, pooled scratch, the per-run
-// orchestration), seed.go (the ℓmin seed / full-recompute block scan),
-// length.go (the per-length advance→certify→recompute loop and the exact
-// full-profile pass), sink.go (the per-length Sink pipeline: requirement
-// planning plus the built-in pairs, VALMAP and discord sinks), result.go
-// (outputs), with the per-anchor state in internal/core/anchors.
+// orchestration), seed.go (the seeding / full-recompute block scan),
+// length.go (the per-length advance→certify→recompute loop),
+// incremental.go (the incremental cross-length profile engine serving
+// FullProfile lengths: diagonal dot-product state carried from length to
+// length with one FMA per cell, one FFT per run), sink.go (the per-length
+// Sink pipeline: the planner deciding pruned/full/skip per length plus
+// the built-in pairs, VALMAP and discord sinks), result.go (outputs),
+// with the per-anchor state in internal/core/anchors.
 package core
 
 import (
@@ -71,18 +74,25 @@ type Config struct {
 	// per-length STOMP recompute replaces individual MASS recomputes
 	// (default 0.05; see DefaultRecomputeFraction for the cost model).
 	RecomputeFraction float64
-	// DisablePruning forces a full recompute at every length — the
+	// DisablePruning forces a whole-profile pass at every length — the
 	// lower-bound ablation. The output is identical; only time changes.
 	DisablePruning bool
+	// DisableIncremental forces every whole-profile length to recompute
+	// from scratch (FFT reseeds + STOMP row scan) instead of extending
+	// the carried cross-length dot-product state — the incremental-engine
+	// ablation, and the parity reference the CI smoke checks the
+	// incremental plan against. Equivalent output, one full pass per
+	// length.
+	DisableIncremental bool
 	// Discords, when positive, reports that many variable-length
 	// discords (Result.Discords): per length the k largest exact NN
 	// distances with trivial-match de-dup, then ranked across lengths by
 	// length-normalized distance under cross-length exclusion (see
 	// discordSink). The exact per-offset NN distances require the
-	// FullProfile plan, so a positive value switches the length loop to
-	// the exact per-length profile pass (pairs and VALMAP stay
-	// equivalent within floating tolerance; per-length resolution stats
-	// report full recomputes).
+	// FullProfile plan, so a positive value switches every length to the
+	// incremental whole-profile pass (pairs and VALMAP stay equivalent
+	// within floating tolerance; per-length resolution stats report
+	// full — incremental — recomputes).
 	Discords int
 	// Workers bounds the goroutines used by the data-parallel phases: the
 	// ℓmin seed, full-recompute fallbacks, and the per-length

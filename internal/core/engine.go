@@ -7,6 +7,7 @@ import (
 
 	"github.com/seriesmining/valmod/internal/core/anchors"
 	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/profile"
 	"github.com/seriesmining/valmod/internal/series"
 )
 
@@ -73,16 +74,36 @@ type run struct {
 	// corr amortizes the series-side FFT across every recompute query.
 	corr *fft.Correlator
 
-	// profileOnly marks a FullProfile-plan run: every length is resolved
-	// by the exact per-length scan, the advance→certify machinery never
-	// runs, so the row scans skip the partial-profile reseed bookkeeping
-	// (the top-p heap and bound terms exist only to feed that machinery).
+	// profileOnly marks a run whose plan contains no pruned length: the
+	// advance→certify machinery never runs, so the row scans skip the
+	// partial-profile reseed bookkeeping (the top-p heap and bound terms
+	// exist only to feed that machinery).
 	profileOnly bool
 
+	// seeded reports that the pruned machinery (anchor partial profiles)
+	// has been seeded by a full row scan; entriesAt is the length the
+	// retained entries' dot products are currently advanced to, so the
+	// advance pass can catch up across lengths the planner resolved
+	// incrementally or skipped.
+	seeded    bool
+	entriesAt int
+
+	// incremental cross-length profile state (see incremental.go): the
+	// diagonal head row carried across FullProfile lengths plus the
+	// per-worker (corr, index) accumulators of the diagonal pass.
+	inc      incState
+	diagCorr [][]float64
+	diagIdx  [][]int32
+
+	// planStats instruments the per-length planner for this run.
+	planStats PlanStats
+
 	// cached sliding moments of the current working length; invStds[j] is
-	// 1/σ_j (0 for degenerate windows) so the hot loops run division-free
+	// 1/σ_j (0 for degenerate windows) so the hot loops run division-free;
+	// degCount counts degenerate windows at that length
 	momentsL             int
 	means, stds, invStds []float64
+	degCount             int
 	rowQT                []float64 // scratch dot-product row for run scans
 }
 
@@ -101,6 +122,7 @@ func (r *run) momentsAt(l int) {
 	r.means = r.means[:s]
 	r.stds = r.stds[:s]
 	r.invStds = r.invStds[:s]
+	deg := 0
 	for i := 0; i < s; i++ {
 		mu, sd := r.st.MeanStd(i, l)
 		r.means[i], r.stds[i] = mu, sd
@@ -108,8 +130,10 @@ func (r *run) momentsAt(l int) {
 			r.invStds[i] = 1 / sd
 		} else {
 			r.invStds[i] = 0
+			deg++
 		}
 	}
+	r.degCount = deg
 	r.momentsL = l
 }
 
@@ -132,7 +156,8 @@ func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, err
 		ds = newDiscordSink(cfg.Discords, cfg.ExclusionFactor)
 		sinks = append(sinks, ds)
 	}
-	if err := e.RunSinks(ctx, t, cfg, sinks...); err != nil {
+	plan, err := e.runSinks(ctx, t, cfg, sinks)
+	if err != nil {
 		return nil, err
 	}
 	res := &Result{
@@ -141,6 +166,7 @@ func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, err
 		MPMin:     pairs.mpMin,
 		PerLength: pairs.perLength,
 		VMap:      vms.vm,
+		Plan:      plan,
 	}
 	if ds != nil {
 		res.Discords = ds.Discords()
@@ -149,20 +175,29 @@ func (e *Engine) Run(ctx context.Context, t []float64, cfg Config) (*Result, err
 }
 
 // RunSinks executes the VALMOD length loop and streams each completed
-// length into the registered sinks. The per-length work is planned from
-// the union of the sink requirements: with only TopKPairs sinks the
-// pruned pipeline runs (seed ℓmin with a block-parallel STOMP scan, then
-// advance→certify across anchor shards and recompute the uncertified
-// stragglers to a fixpoint); one FullProfile sink — or
-// cfg.DisablePruning — switches every length to the exact STOMP-style
-// per-length pass on the same fixed block grid, so either plan is
-// bit-identical at any worker count. Sinks are consumed in registration
-// order on this goroutine; progress is emitted after every completed
-// length (sinks included) when cfg.OnLength is set.
+// length into the registered sinks. Each length's work is planned from
+// the sinks that want it (Requirement × LengthSelector, see
+// planLengths): lengths only TopKPairs sinks want run the pruned
+// pipeline (seed the first such length with a block-parallel STOMP scan,
+// then advance→certify across anchor shards and recompute the
+// uncertified stragglers to a fixpoint); lengths a FullProfile sink
+// wants — or any wanted length under cfg.DisablePruning — run the
+// incremental cross-length profile pass (or a from-scratch STOMP pass
+// under cfg.DisableIncremental); lengths no sink wants are skipped. All
+// passes run on fixed grids, so every plan is bit-identical at any
+// worker count. Sinks are consumed in registration order on this
+// goroutine, each only for the lengths it wants; progress is emitted
+// after every length (skipped ones included) when cfg.OnLength is set.
 func (e *Engine) RunSinks(ctx context.Context, t []float64, cfg Config, sinks ...Sink) error {
+	_, err := e.runSinks(ctx, t, cfg, sinks)
+	return err
+}
+
+// runSinks is RunSinks returning the per-length plan instrumentation.
+func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []Sink) (PlanStats, error) {
 	cfg.Fill()
 	if err := cfg.validate(len(t)); err != nil {
-		return err
+		return PlanStats{}, err
 	}
 	sMin := len(t) - cfg.LMin + 1
 	workers := cfg.Workers
@@ -186,51 +221,85 @@ func (e *Engine) RunSinks(ctx context.Context, t []float64, cfg Config, sinks ..
 	}
 	defer r.corr.Release()
 
-	fullEveryLength := cfg.DisablePruning || planRequirement(sinks) == FullProfile
-	r.profileOnly = fullEveryLength
+	plans := planLengths(cfg, sinks)
+	lastPruned := -1
+	for idx, p := range plans {
+		if p == planPruned {
+			lastPruned = idx
+		}
+	}
+	r.profileOnly = lastPruned < 0
 	total := cfg.LMax - cfg.LMin + 1
 	dispatch := func(ld LengthData, done int) {
 		for _, s := range sinks {
-			s.Consume(ld)
+			if sinkWants(s, ld.L) {
+				s.Consume(ld)
+			}
 		}
 		if cfg.OnLength != nil {
 			cfg.OnLength(Progress{Done: done, Total: total, Result: ld.Result})
 		}
 	}
 
-	// Phase 1: exact matrix profile at ℓmin + initial partial profiles.
-	// The ℓmin profile is always computed in full, so it is delivered to
-	// the sinks on every plan.
-	mpMin, err := r.seedAll(cfg.LMin)
-	if err != nil {
-		return err
-	}
-	first := LengthResult{M: cfg.LMin, Pairs: mpMin.TopKPairs(cfg.TopK)}
-	first.Stats.FullRecompute = true
-	dispatch(LengthData{L: cfg.LMin, Result: first, Profile: mpMin}, 1)
-
-	// Phase 2: longer lengths, planned per the sink requirements.
-	for l := cfg.LMin + 1; l <= cfg.LMax; l++ {
+	for idx, l := 0, cfg.LMin; l <= cfg.LMax; idx, l = idx+1, l+1 {
 		select {
 		case <-ctx.Done():
-			return ctx.Err()
+			return r.planStats, ctx.Err()
 		default:
 		}
-		var ld LengthData
-		if fullEveryLength {
-			lr, mp, err := r.processLengthFull(l)
-			if err != nil {
-				return err
+		done := idx + 1
+		switch plans[idx] {
+		case planSkip:
+			// No sink wants this length: no state even needs advancing —
+			// the head row and the retained entries catch up lazily at
+			// the next length that runs.
+			r.planStats.SkippedLengths++
+			if cfg.OnLength != nil {
+				cfg.OnLength(Progress{Done: done, Total: total, Result: LengthResult{M: l}})
 			}
-			ld = LengthData{L: l, Result: lr, Profile: mp}
-		} else {
+		case planPruned:
+			if !r.seeded {
+				// First pruned length: seed the partial profiles with the
+				// full row scan. The scan yields the exact profile for
+				// free, so it is delivered (on the default all-pruned
+				// plan this is the classic ℓmin seed).
+				mp, err := r.seedAll(l)
+				if err != nil {
+					return r.planStats, err
+				}
+				r.planStats.RecomputeLengths++
+				lr := LengthResult{M: l, Pairs: mp.TopKPairs(cfg.TopK)}
+				lr.Stats.FullRecompute = true
+				dispatch(LengthData{L: l, Result: lr, Profile: mp}, done)
+				continue
+			}
 			lr, err := r.processLength(l)
 			if err != nil {
-				return err
+				return r.planStats, err
 			}
-			ld = LengthData{L: l, Result: lr}
+			r.planStats.PrunedLengths++
+			dispatch(LengthData{L: l, Result: lr}, done)
+		default: // planFull
+			var (
+				lr  LengthResult
+				mp  *profile.MatrixProfile
+				err error
+			)
+			if cfg.DisableIncremental || (!r.seeded && idx < lastPruned) {
+				// From-scratch row scan: either the incremental engine is
+				// ablated, or pruned lengths follow and the row scan's
+				// partial-profile reseed seeds them without an extra pass.
+				lr, mp, err = r.processLengthFull(l)
+				r.planStats.RecomputeLengths++
+			} else {
+				lr, mp, err = r.processLengthIncremental(l)
+				r.planStats.IncrementalLengths++
+			}
+			if err != nil {
+				return r.planStats, err
+			}
+			dispatch(LengthData{L: l, Result: lr, Profile: mp}, done)
 		}
-		dispatch(ld, l-cfg.LMin+1)
 	}
-	return nil
+	return r.planStats, nil
 }

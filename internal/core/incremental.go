@@ -1,0 +1,271 @@
+package core
+
+// The incremental cross-length profile engine: the FullProfile plan's
+// per-length pass. Instead of re-seeding FFTs and re-running a STOMP row
+// scan from scratch at every length (the PR3 behavior, kept behind
+// Config.DisableIncremental as processLengthFull), the run carries one
+// piece of state across lengths — the diagonal head row QT(0, k) — and
+// extends it from length ℓ to ℓ+1 with the one-FMA-per-cell recurrence
+// QT(i,j)ₗ₊₁ = QT(i,j)ₗ + t[i+ℓ]·t[j+ℓ]. Each length is then resolved by
+// one fused diagonal pass that visits every non-trivial pair exactly once
+// (symmetry updates both endpoints), on a fixed diagonal-block grid, so
+// the pass costs half the cells of the row scan and zero FFTs.
+//
+// Determinism: a diagonal's cells depend only on its head cell, never on
+// which block or worker scans it, so the computed correlations are
+// bit-identical at every worker count. Winner selection per profile slot
+// uses the strict total order (corr descending, neighbor offset ascending
+// on exact ties); a total-order maximum is independent of encounter order,
+// so block scheduling and the per-worker local merges cannot change the
+// result either.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+// diagBlockCells is the target cell count of one diagonal block — the
+// fixed grid the incremental pass is partitioned on. Like seedBlockRows it
+// depends only on the geometry (s, excl), never on the worker count.
+const diagBlockCells = 128 * 1024
+
+// incState is the cross-length state of the incremental engine: the
+// diagonal head row QT(0, k) at length cur. Seeded with one FFT at the
+// first FullProfile length of the run, then FMA-extended; cur == 0 means
+// unseeded.
+type incState struct {
+	head []float64
+	cur  int
+}
+
+// diagBlock is a contiguous range of diagonals [k0, k1).
+type diagBlock struct{ k0, k1 int }
+
+// diagBlocks partitions diagonals [excl, s) into blocks of roughly
+// diagBlockCells cells each (diagonal k has s−k cells). The boundaries are
+// a pure function of s and excl.
+func diagBlocks(s, excl int) []diagBlock {
+	var out []diagBlock
+	k0, acc := excl, 0
+	for k := excl; k < s; k++ {
+		acc += s - k
+		if acc >= diagBlockCells {
+			out = append(out, diagBlock{k0, k + 1})
+			k0, acc = k+1, 0
+		}
+	}
+	if k0 < s {
+		out = append(out, diagBlock{k0, s})
+	}
+	return out
+}
+
+// headAt returns the diagonal head row advanced to length l: one FFT on
+// first use (the correlator amortizes the series-side transform), then
+// stomp.ExtendDiagonalHead's one-FMA-per-cell recurrence per length step.
+// Lengths are processed in increasing order, so l never regresses.
+func (r *run) headAt(l int) ([]float64, error) {
+	if r.inc.cur == 0 {
+		n := len(r.t)
+		r.inc.head = r.corr.Dots(r.t[0:l], make([]float64, n-l+1))
+		r.inc.cur = l
+		r.planStats.HeadSeeds++
+		return r.inc.head, nil
+	}
+	head, err := stomp.ExtendDiagonalHead(r.inc.head, r.t, r.inc.cur, l)
+	if err != nil {
+		return nil, err
+	}
+	r.planStats.HeadExtensions += l - r.inc.cur
+	r.inc.head = head
+	r.inc.cur = l
+	return head, nil
+}
+
+// ensureDiagScratch sizes the per-worker (corr, index) accumulators of the
+// diagonal pass. They are allocated once per run at the ℓmin anchor count
+// and resliced per length.
+func (r *run) ensureDiagScratch(workers int) {
+	for len(r.diagCorr) < workers {
+		r.diagCorr = append(r.diagCorr, make([]float64, r.sMin))
+		r.diagIdx = append(r.diagIdx, make([]int32, r.sMin))
+	}
+}
+
+// processLengthIncremental resolves length l with the incremental
+// cross-length pass: extend the carried head row to l, then one fused
+// diagonal scan — in-length recurrence, division-free correlation, both
+// endpoints of each pair updated — over the fixed diagonal-block grid.
+// Output contract matches processLengthFull: the exact top-k pairs and the
+// exact matrix profile (nil when the length admits no non-trivial pair).
+func (r *run) processLengthIncremental(l int) (LengthResult, *profile.MatrixProfile, error) {
+	s := len(r.t) - l + 1
+	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
+	lr := LengthResult{M: l}
+	if s <= excl {
+		// No non-trivial pair (hence no finite NN distance) can exist, and
+		// none can at any longer length either: the head row stays put.
+		return lr, nil, nil
+	}
+	r.momentsAt(l)
+	head, err := r.headAt(l)
+	if err != nil {
+		return lr, nil, err
+	}
+
+	blocks := diagBlocks(s, excl)
+	workers := r.workers
+	if workers > len(blocks) {
+		workers = len(blocks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	r.ensureDiagScratch(workers)
+	for w := 0; w < workers; w++ {
+		corr, idx := r.diagCorr[w][:s], r.diagIdx[w][:s]
+		for i := range corr {
+			corr[i] = math.Inf(-1)
+			idx[i] = -1
+		}
+	}
+
+	if workers == 1 {
+		corr, idx := r.diagCorr[0][:s], r.diagIdx[0][:s]
+		for _, b := range blocks {
+			if err := r.ctx.Err(); err != nil {
+				return lr, nil, err
+			}
+			r.diagScan(b.k0, b.k1, l, s, head, corr, idx)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				corr, idx := r.diagCorr[w][:s], r.diagIdx[w][:s]
+				for {
+					if r.ctx.Err() != nil {
+						return
+					}
+					b := int(next.Add(1)) - 1
+					if b >= len(blocks) {
+						return
+					}
+					r.diagScan(blocks[b].k0, blocks[b].k1, l, s, head, corr, idx)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if err := r.ctx.Err(); err != nil {
+			return lr, nil, err
+		}
+		// Merge the worker locals into slot 0. The total-order comparison
+		// makes the merged winner independent of which worker scanned
+		// which blocks.
+		base, bidx := r.diagCorr[0][:s], r.diagIdx[0][:s]
+		for w := 1; w < workers; w++ {
+			wc, wi := r.diagCorr[w][:s], r.diagIdx[w][:s]
+			for i := 0; i < s; i++ {
+				if wi[i] < 0 {
+					continue
+				}
+				if wc[i] > base[i] || (wc[i] == base[i] && wi[i] < bidx[i]) {
+					base[i], bidx[i] = wc[i], wi[i]
+				}
+			}
+		}
+	}
+
+	mp := profile.New(l, excl, s)
+	fl := float64(l)
+	corr, idx := r.diagCorr[0][:s], r.diagIdx[0][:s]
+	for i := 0; i < s; i++ {
+		if idx[i] < 0 {
+			continue
+		}
+		c := corr[i]
+		if c > 1 {
+			c = 1
+		} else if c < -1 {
+			c = -1
+		}
+		mp.Dist[i] = math.Sqrt(2 * fl * (1 - c))
+		mp.Index[i] = int(idx[i])
+	}
+	if r.degCount > 0 {
+		r.fixupDegenerate(mp, excl, s)
+	}
+	lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+	lr.Stats.FullRecompute = true
+	lr.Stats.Incremental = true
+	return lr, mp, nil
+}
+
+// diagScan streams diagonals [k0, k1) at length l: each diagonal starts
+// from its head cell, advances with the in-length recurrence, and each
+// cell's division-free correlation updates the best-so-far of both
+// endpoints under the total order (corr desc, neighbor asc). corr/idx are
+// the caller-owned accumulators (a worker local or the shared slot-0
+// arrays). The moment cache must already be at l.
+//
+// A degenerate endpoint (σ = 0, inv = 0) zeroes the correlation, which
+// matches the one-constant-window convention d = √(2ℓ); the
+// both-constant-windows case (d = 0) is restored by fixupDegenerate.
+func (r *run) diagScan(k0, k1, l, s int, head, corr []float64, idx []int32) {
+	t := r.t
+	means, invs := r.means, r.invStds
+	invFl := 1 / float64(l)
+	for k := k0; k < k1; k++ {
+		qt := head[k]
+		c := (qt*invFl - means[0]*means[k]) * invs[0] * invs[k]
+		if c > corr[0] || (c == corr[0] && int32(k) < idx[0]) {
+			corr[0], idx[0] = c, int32(k)
+		}
+		if c > corr[k] || (c == corr[k] && 0 < idx[k]) {
+			corr[k], idx[k] = c, 0
+		}
+		for i := 1; i+k < s; i++ {
+			j := i + k
+			qt += t[i+l-1]*t[j+l-1] - t[i-1]*t[j-1]
+			c := (qt*invFl - means[i]*means[j]) * invs[i] * invs[j]
+			if c > corr[i] || (c == corr[i] && int32(j) < idx[i]) {
+				corr[i], idx[i] = c, int32(j)
+			}
+			if c > corr[j] || (c == corr[j] && int32(i) < idx[j]) {
+				corr[j], idx[j] = c, int32(i)
+			}
+		}
+	}
+}
+
+// fixupDegenerate restores the constant-window convention the fused
+// correlation kernel cannot express: two degenerate (σ = 0) subsequences
+// are at distance 0 of each other, which beats the √(2ℓ) every candidate
+// contributed through the zeroed correlation. The winner is the smallest
+// qualifying degenerate offset — the same index the ascending scalar scan
+// of the recompute path selects.
+func (r *run) fixupDegenerate(mp *profile.MatrixProfile, excl, s int) {
+	var degs []int
+	for i := 0; i < s; i++ {
+		if r.invStds[i] == 0 {
+			degs = append(degs, i)
+		}
+	}
+	for _, i := range degs {
+		for _, j := range degs {
+			if j > i-excl && j < i+excl {
+				continue
+			}
+			mp.Dist[i] = 0
+			mp.Index[i] = j
+			break // degs ascend, so the first qualifying j is the smallest
+		}
+	}
+}

@@ -19,12 +19,14 @@ const hotRowBudgetBytes = 64 << 20
 // than the work).
 const advanceShardRows = 256
 
-// processLengthFull resolves length l with the exact per-length profile
-// pass (the stomprange recurrence on the seed's fixed block grid) and
-// returns both the top-k pairs and the full profile — the FullProfile
-// plan, serving every sink requirement at once. Also the DisablePruning
-// ablation path: output is identical to the pruned plan, only time (and
-// the resolution stats) change.
+// processLengthFull resolves length l with the from-scratch per-length
+// profile pass (the STOMP row scan on the seed's fixed block grid) and
+// returns both the top-k pairs and the full profile. It is the
+// DisableIncremental variant of the FullProfile plan (the default is
+// processLengthIncremental) and the pass the planner uses when a
+// whole-profile length doubles as the pruned machinery's seed: the row
+// scan reseeds every anchor's partial profile, which the diagonal pass
+// does not.
 func (r *run) processLengthFull(l int) (LengthResult, *profile.MatrixProfile, error) {
 	s := len(r.t) - l + 1
 	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
@@ -232,6 +234,7 @@ func (r *run) advanceAll(l, excl, s int) {
 	}
 	if workers <= 1 {
 		r.advanceShard(0, s, l, excl, s)
+		r.entriesAt = l
 		return
 	}
 	// More shards than workers evens out load skew (hot anchors cluster);
@@ -253,14 +256,18 @@ func (r *run) advanceAll(l, excl, s int) {
 		}()
 	}
 	wg.Wait()
+	r.entriesAt = l
 }
 
 // advanceShard advances anchors [lo, hi) to length l: hot anchors resolve
-// exactly from their cached row; the rest advance their retained entries in
-// O(1) each and compare their best exact distance against the lower bound
-// covering every unretained candidate (certification).
+// exactly from their cached row; the rest advance their retained entries —
+// one fused multiply-add per intervening length, so entries catch up
+// across lengths the planner resolved incrementally or skipped — and
+// compare their best exact distance against the lower bound covering
+// every unretained candidate (certification).
 func (r *run) advanceShard(lo, hi, l, excl, s int) {
 	fl := float64(l)
+	from := r.entriesAt + 1 // entries currently hold QT at length entriesAt
 	for i := lo; i < hi; i++ {
 		a := r.store.At(i)
 		r.cert[i] = false
@@ -298,7 +305,9 @@ func (r *run) advanceShard(lo, hi, l, excl, s int) {
 			if j >= s {
 				continue // candidate no longer long enough
 			}
-			ent.Advance(r.t, i, l)
+			for ll := from; ll <= l; ll++ {
+				ent.Advance(r.t, i, ll)
+			}
 			if j > i-excl && j < i+excl {
 				continue // grown exclusion zone swallowed it
 			}

@@ -15,8 +15,38 @@ type LengthStats struct {
 	Certified int
 	// Recomputed counts anchors individually recomputed with MASS.
 	Recomputed int
-	// FullRecompute reports a whole-length STOMP fallback.
+	// FullRecompute reports the length was resolved by a whole-profile
+	// pass rather than the pruned advance→certify machinery.
 	FullRecompute bool
+	// Incremental refines FullRecompute: the whole-profile pass extended
+	// the carried cross-length dot-product state (one FMA per cell)
+	// instead of recomputing from scratch with FFT reseeds.
+	Incremental bool
+}
+
+// PlanStats instruments the per-length planner of one run: how many
+// lengths each plan resolved and what the incremental engine's carried
+// state cost. RecomputeLengths counts from-scratch whole-profile passes —
+// the pruned machinery's seed length, fixpoint fallbacks inside pruned
+// lengths are *not* counted here (they are per-length LengthStats), and
+// every FullProfile length under DisableIncremental.
+type PlanStats struct {
+	// PrunedLengths counts lengths resolved by the advance→certify pass.
+	PrunedLengths int `json:"pruned_lengths"`
+	// IncrementalLengths counts lengths resolved by the incremental
+	// cross-length profile pass.
+	IncrementalLengths int `json:"incremental_lengths"`
+	// RecomputeLengths counts lengths resolved by a from-scratch row scan
+	// (seeding or ablation).
+	RecomputeLengths int `json:"recompute_lengths"`
+	// SkippedLengths counts lengths no registered sink wanted.
+	SkippedLengths int `json:"skipped_lengths"`
+	// HeadSeeds counts FFT seedings of the incremental engine's diagonal
+	// head row (at most one per run).
+	HeadSeeds int `json:"head_seeds"`
+	// HeadExtensions counts one-FMA-per-cell head-row advances (one per
+	// length step the carried state crossed).
+	HeadExtensions int `json:"head_extensions"`
 }
 
 // LengthResult carries the exact output of one subsequence length.
@@ -70,6 +100,8 @@ type Result struct {
 	// length-normalized NN distance descending; nil unless Cfg.Discords
 	// is positive.
 	Discords []Discord
+	// Plan instruments how the per-length planner resolved the run.
+	Plan PlanStats
 }
 
 // GlobalBest returns the best motif pair across all lengths under the

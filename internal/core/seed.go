@@ -49,6 +49,7 @@ func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
 			lo, hi := blockBounds(b, s)
 			r.processRunWith(lo, hi-lo, l, excl, s, mp, r.corr, r.rowQT[:s])
 		}
+		r.markSeeded(l)
 		return mp, nil
 	}
 	var next atomic.Int64
@@ -81,7 +82,20 @@ func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
 	if err := r.ctx.Err(); err != nil {
 		return nil, err
 	}
+	r.markSeeded(l)
 	return mp, nil
+}
+
+// markSeeded records that the full row scan just reseeded every anchor's
+// partial profile at base length l (no-op on profileOnly runs, whose scans
+// skip the reseed bookkeeping entirely): the pruned machinery is live and
+// its retained entries hold dot products at l.
+func (r *run) markSeeded(l int) {
+	if r.profileOnly {
+		return
+	}
+	r.seeded = true
+	r.entriesAt = l
 }
 
 // blockBounds returns the anchor range [lo, hi) of seed block b.

@@ -10,9 +10,11 @@ import (
 )
 
 // Requirement is the level of per-length data a Sink needs. The engine
-// plans each length's work from the union of the registered sinks'
-// requirements, so adding a cheap consumer never forces expensive work
-// and adding an expensive one never forks the pipeline.
+// plans every length individually from the sinks that want that length
+// (see planLengths), so adding a cheap consumer never forces expensive
+// work, adding an expensive one never forks the pipeline, and an
+// expensive sink restricted to a length subset (LengthSelector) only
+// upgrades the lengths it actually wants.
 type Requirement int
 
 const (
@@ -21,11 +23,12 @@ const (
 	// without materializing every nearest-neighbor distance.
 	TopKPairs Requirement = iota
 	// FullProfile requires the exact nearest-neighbor distance of every
-	// subsequence offset at every length. The pruned pass cannot provide
-	// it (it certifies only the reported top-k), so the engine switches
-	// the length loop to the exact STOMP-style per-length pass — the
-	// stomprange recurrence run on the same fixed block grid as the seed,
-	// so output stays bit-identical at any worker count.
+	// subsequence offset at the lengths the sink wants. The pruned pass
+	// cannot provide it (it certifies only the reported top-k), so those
+	// lengths run a whole-profile pass — the incremental cross-length
+	// engine (incremental.go), which carries the diagonal dot-product
+	// state from length to length on a fixed diagonal-block grid, so
+	// output stays bit-identical at any worker count.
 	FullProfile
 )
 
@@ -40,10 +43,13 @@ type LengthData struct {
 	L int
 	// Result carries the exact top-k pairs and the resolution stats.
 	Result LengthResult
-	// Profile is the exact matrix profile at L. It is always present at
-	// ℓmin (the seed pass computes it regardless of requirements) and at
-	// every length when a FullProfile sink is registered; nil otherwise.
-	// At lengths admitting no non-trivial pair it is nil on every path.
+	// Profile is the exact matrix profile at L. It is present whenever
+	// the engine resolved the length with a whole-profile pass: at every
+	// length planned FullProfile, and at the length that seeds the pruned
+	// machinery (the first pruned length — ℓmin on the default plan, so
+	// the first delivery always carries a profile when every sink wants
+	// every length). At lengths admitting no non-trivial pair it is nil
+	// on the FullProfile paths.
 	Profile *profile.MatrixProfile
 }
 
@@ -53,22 +59,78 @@ type LengthData struct {
 // through Engine.RunSinks without touching the length loop.
 type Sink interface {
 	// Requires declares the per-length data this sink needs; the engine
-	// takes the union across sinks when planning each length.
+	// plans each length from the sinks that want that length.
 	Requires() Requirement
-	// Consume receives each completed length, ℓmin first, in increasing
-	// order, on the goroutine running the engine.
+	// Consume receives each completed length this sink wants (every
+	// length, unless the sink also implements LengthSelector), in
+	// increasing order, on the goroutine running the engine.
 	Consume(ld LengthData)
 }
 
-// planRequirement is the union of the sink requirements: one FullProfile
-// sink switches every length to the exact per-length pass.
-func planRequirement(sinks []Sink) Requirement {
-	for _, s := range sinks {
-		if s.Requires() == FullProfile {
-			return FullProfile
+// LengthSelector optionally restricts a Sink to a subset of the run's
+// lengths — discords over a sub-range, a downsampled length grid for a
+// preview, a single checkpoint length. The engine consults it when
+// planning: a length only FullProfile sinks *don't* want runs the cheap
+// pruned pass instead, and a length no sink wants at all is skipped.
+// WantsLength must be pure (the planner may evaluate it once up front and
+// the dispatcher again per delivery).
+type LengthSelector interface {
+	WantsLength(l int) bool
+}
+
+// sinkWants reports whether sink s consumes length l: every length,
+// unless the sink narrows itself via LengthSelector.
+func sinkWants(s Sink, l int) bool {
+	if sel, ok := s.(LengthSelector); ok {
+		return sel.WantsLength(l)
+	}
+	return true
+}
+
+// lengthPlan is the planner's decision for one length.
+type lengthPlan uint8
+
+const (
+	// planSkip: no sink wants the length; nothing runs.
+	planSkip lengthPlan = iota
+	// planPruned: only TopKPairs sinks want it; the pruned
+	// advance→certify pass resolves it.
+	planPruned
+	// planFull: a FullProfile sink wants it (or pruning is ablated); a
+	// whole-profile pass resolves it — incrementally, unless
+	// Config.DisableIncremental or the pass doubles as the pruned
+	// machinery's seed.
+	planFull
+)
+
+// planLengths decides one plan per length from the sinks that want it.
+// cfg.DisablePruning upgrades every wanted length to the full pass (the
+// ablation contract: identical output, no lower-bound machinery).
+func planLengths(cfg Config, sinks []Sink) []lengthPlan {
+	plans := make([]lengthPlan, cfg.LMax-cfg.LMin+1)
+	for idx := range plans {
+		l := cfg.LMin + idx
+		full, pairs := false, false
+		for _, s := range sinks {
+			if !sinkWants(s, l) {
+				continue
+			}
+			if s.Requires() == FullProfile {
+				full = true
+			} else {
+				pairs = true
+			}
+		}
+		switch {
+		case full || (cfg.DisablePruning && pairs):
+			plans[idx] = planFull
+		case pairs:
+			plans[idx] = planPruned
+		default:
+			plans[idx] = planSkip
 		}
 	}
-	return TopKPairs
+	return plans
 }
 
 // pairsSink accumulates the per-length results and the ℓmin profile —

@@ -41,11 +41,13 @@ func hashSeries(values []float64) [sha256.Size]byte {
 // normalized to their effective defaults first, so an explicit TopK of 10
 // and the zero value share an entry. Every field that can change the
 // result bytes participates: TopK and ExclusionFactor change the pairs; P,
-// RecomputeFraction and DisablePruning change the per-length pruning stats
-// the result reports; Discords changes the query kind (it adds the discord
-// payload and switches the engine to the full-profile plan, which also
-// changes the per-length stats). Workers is excluded — the fixed-grid
-// contract makes output bit-identical at every worker count.
+// RecomputeFraction, DisablePruning and DisableIncremental change the
+// per-length resolution and plan stats the result reports (and the two
+// whole-profile passes take different arithmetic paths); Discords changes
+// the query kind (it adds the discord payload and switches the engine to
+// the full-profile plan, which also changes the stats). Workers is
+// excluded — the fixed-grid contract makes output bit-identical at every
+// worker count.
 func resultKey(seriesHash [sha256.Size]byte, lmin, lmax int, o valmod.Options) cacheKey {
 	o = normalizeOptions(o)
 	h := sha256.New()
@@ -60,11 +62,14 @@ func resultKey(seriesHash [sha256.Size]byte, lmin, lmax int, o valmod.Options) c
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
+	flags := []byte{0, 0}
 	if o.DisablePruning {
-		h.Write([]byte{1})
-	} else {
-		h.Write([]byte{0})
+		flags[0] = 1
 	}
+	if o.DisableIncremental {
+		flags[1] = 1
+	}
+	h.Write(flags)
 	var out cacheKey
 	h.Sum(out[:0])
 	return out

@@ -17,7 +17,7 @@ import (
 //	GET    /v1/jobs/{id}       job status; result JSON once done
 //	GET    /v1/jobs/{id}/events  SSE per-length progress stream
 //	DELETE /v1/jobs/{id}       cancel the job
-//	GET    /v1/stats           engine-run / cache counters
+//	GET    /v1/stats           engine-run / cache / per-plan counters
 //	GET    /healthz            liveness
 func NewServer(m *Manager) http.Handler {
 	s := &server{m: m}

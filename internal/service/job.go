@@ -48,11 +48,15 @@ type Result struct {
 	// Discords carries the exact variable-length discords of a
 	// pairs+discords query (JobRequest.Discords > 0); omitted otherwise.
 	Discords []valmod.Discord `json:"discords,omitempty"`
+	// Plan reports how the engine's per-length planner resolved the run
+	// (pruned vs incremental vs from-scratch lengths, carried-state
+	// seeds/extensions).
+	Plan valmod.PlanStats `json:"plan"`
 }
 
 // ResultOf converts a library result into the service's wire result.
 func ResultOf(r *valmod.Result) *Result {
-	out := &Result{N: r.N, LMin: r.LMin, LMax: r.LMax, PerLength: r.PerLength, Discords: r.Discords}
+	out := &Result{N: r.N, LMin: r.LMin, LMax: r.LMax, PerLength: r.PerLength, Discords: r.Discords, Plan: r.Plan}
 	if best, ok := r.BestOverall(); ok {
 		out.Best = &best
 	}

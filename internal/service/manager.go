@@ -82,17 +82,22 @@ type JobRequest struct {
 	RecomputeFraction float64   `json:"recompute_fraction,omitempty"`
 	Discords          int       `json:"discords,omitempty"`
 	Workers           int       `json:"workers,omitempty"`
+	// DisableIncremental forces from-scratch whole-profile passes (the
+	// incremental-engine ablation); results are cached separately since
+	// the reported plan stats differ.
+	DisableIncremental bool `json:"disable_incremental,omitempty"`
 }
 
 // options maps the request's engine knobs onto valmod.Options.
 func (r JobRequest) options() valmod.Options {
 	return valmod.Options{
-		TopK:              r.TopK,
-		P:                 r.P,
-		ExclusionFactor:   r.ExclusionFactor,
-		RecomputeFraction: r.RecomputeFraction,
-		Discords:          r.Discords,
-		Workers:           r.Workers,
+		TopK:               r.TopK,
+		P:                  r.P,
+		ExclusionFactor:    r.ExclusionFactor,
+		RecomputeFraction:  r.RecomputeFraction,
+		Discords:           r.Discords,
+		Workers:            r.Workers,
+		DisableIncremental: r.DisableIncremental,
 	}
 }
 
@@ -118,6 +123,20 @@ type Stats struct {
 	CacheMisses int64 `json:"cache_misses"`
 	// Coalesced counts submissions attached to an identical in-flight job.
 	Coalesced int64 `json:"coalesced"`
+	// Plan aggregates the engine's per-length plan stats over every
+	// executed run (cache hits and coalesced followers add nothing: no
+	// engine work happened for them).
+	Plan PlanTotals `json:"plan"`
+}
+
+// PlanTotals aggregates valmod.PlanStats across runs.
+type PlanTotals struct {
+	PrunedLengths      int64 `json:"pruned_lengths"`
+	IncrementalLengths int64 `json:"incremental_lengths"`
+	RecomputeLengths   int64 `json:"recompute_lengths"`
+	SkippedLengths     int64 `json:"skipped_lengths"`
+	HeadSeeds          int64 `json:"head_seeds"`
+	HeadExtensions     int64 `json:"head_extensions"`
 }
 
 // Manager owns the serving state: the shared base engine, the concurrency
@@ -132,6 +151,13 @@ type Manager struct {
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
 	coalesced   atomic.Int64
+
+	planPruned      atomic.Int64
+	planIncremental atomic.Int64
+	planRecompute   atomic.Int64
+	planSkipped     atomic.Int64
+	planHeadSeeds   atomic.Int64
+	planHeadExtends atomic.Int64
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -163,6 +189,14 @@ func (m *Manager) Stats() Stats {
 		CacheHits:   m.cacheHits.Load(),
 		CacheMisses: m.cacheMisses.Load(),
 		Coalesced:   m.coalesced.Load(),
+		Plan: PlanTotals{
+			PrunedLengths:      m.planPruned.Load(),
+			IncrementalLengths: m.planIncremental.Load(),
+			RecomputeLengths:   m.planRecompute.Load(),
+			SkippedLengths:     m.planSkipped.Load(),
+			HeadSeeds:          m.planHeadSeeds.Load(),
+			HeadExtensions:     m.planHeadExtends.Load(),
+		},
 	}
 }
 
@@ -401,6 +435,12 @@ func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []floa
 		job.finish(nil, err)
 		return
 	}
+	m.planPruned.Add(int64(res.Plan.PrunedLengths))
+	m.planIncremental.Add(int64(res.Plan.IncrementalLengths))
+	m.planRecompute.Add(int64(res.Plan.RecomputeLengths))
+	m.planSkipped.Add(int64(res.Plan.SkippedLengths))
+	m.planHeadSeeds.Add(int64(res.Plan.HeadSeeds))
+	m.planHeadExtends.Add(int64(res.Plan.HeadExtensions))
 	out := ResultOf(res)
 	m.cache.Put(key, out)
 	job.finish(out, nil)

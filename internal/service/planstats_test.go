@@ -1,0 +1,69 @@
+package service
+
+// Tests for the per-plan instrumentation the serving layer exposes: plan
+// stats in job results and their aggregation in Manager.Stats (the
+// /v1/stats payload).
+
+import (
+	"testing"
+)
+
+func TestJobResultAndStatsCarryPlanStats(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	values := testSeries(600)
+
+	// A pairs-only query: one seeding row scan, the rest pruned.
+	j, err := m.Submit(JobRequest{Values: values, LMin: 16, LMax: 32, TopK: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	lengths := 32 - 16 + 1
+	plan := st.Result.Plan
+	if plan.RecomputeLengths != 1 || plan.PrunedLengths != lengths-1 || plan.IncrementalLengths != 0 {
+		t.Fatalf("pairs-only plan stats %+v", plan)
+	}
+
+	// A discords query: every length incremental, one FFT head seed.
+	j, err = m.Submit(JobRequest{Values: values, LMin: 16, LMax: 32, TopK: 2, Discords: 2, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	plan = st.Result.Plan
+	if plan.IncrementalLengths != lengths || plan.HeadSeeds != 1 || plan.HeadExtensions != lengths-1 {
+		t.Fatalf("discords plan stats %+v", plan)
+	}
+
+	// The ablation knob forces from-scratch passes and caches separately.
+	j, err = m.Submit(JobRequest{Values: values, LMin: 16, LMax: 32, TopK: 2, Discords: 2, Workers: 1, DisableIncremental: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = waitTerminal(t, j)
+	if st.State != StateDone {
+		t.Fatalf("job state %s: %s", st.State, st.Error)
+	}
+	if st.CacheHit {
+		t.Fatal("DisableIncremental submission answered from the incremental plan's cache entry")
+	}
+	plan = st.Result.Plan
+	if plan.IncrementalLengths != 0 || plan.RecomputeLengths != lengths {
+		t.Fatalf("ablated plan stats %+v", plan)
+	}
+
+	// /v1/stats aggregates across the three runs.
+	totals := m.Stats().Plan
+	if totals.PrunedLengths != int64(lengths-1) ||
+		totals.IncrementalLengths != int64(lengths) ||
+		totals.RecomputeLengths != int64(1+lengths) ||
+		totals.HeadSeeds != 1 || totals.HeadExtensions != int64(lengths-1) {
+		t.Fatalf("aggregated plan totals %+v", totals)
+	}
+}

@@ -8,6 +8,15 @@
 // (Compute), a goroutine-parallel version partitioning diagonals
 // (ComputeParallel), and a brute-force reference (Brute) used only in tests
 // and ablation benchmarks.
+//
+// The diagonal traversal is split into a seed path and an extend path:
+// DiagonalHead computes the first cell of every diagonal with one FFT, and
+// ExtendDiagonalHead advances that head row from length ℓ to ℓ+1 with one
+// fused multiply-add per cell — the cross-length recurrence
+// QT(i,j)ₗ₊₁ = QT(i,j)ₗ + t[i+ℓ]·t[j+ℓ] specialized to row 0. A scan over
+// a length range therefore pays for one FFT total, not one per length;
+// VALMOD's incremental cross-length profile engine (internal/core) is built
+// on the same split.
 package stomp
 
 import (
@@ -36,26 +45,71 @@ func validate(n, m int) error {
 // applies (2 ≤ m ≤ n).
 func ValidateLength(n, m int) error { return validate(n, m) }
 
-// Compute returns the exact matrix profile of t at subsequence length m,
-// using exclusion zone ⌈m/exclFactor⌉ (exclFactor ≤ 0 selects the default).
-// Diagonal traversal: one FFT seeds every diagonal's first dot product, then
-// each diagonal streams in O(1) per cell.
-func Compute(t []float64, m, exclFactor int) (*profile.MatrixProfile, error) {
+// DiagonalHead is the *seed path* of the diagonal traversal: the first
+// cell QT(0, k) of every diagonal at length m, computed with one FFT.
+// head[k] = Σ_{p<m} t[p]·t[k+p] for k in [0, n−m]. One head row is enough
+// to stream every diagonal of the length-m self-join in O(1) per cell —
+// and it is the only state the cross-length *extend path* below needs.
+func DiagonalHead(t []float64, m int) ([]float64, error) {
+	if err := validate(len(t), m); err != nil {
+		return nil, err
+	}
+	return fft.SlidingDotProducts(t[0:m], t), nil
+}
+
+// ExtendDiagonalHead is the *extend path*: it advances a diagonal head row
+// from length cur to length next with the cross-length recurrence
+// QT(0,k)ₗ₊₁ = QT(0,k)ₗ + t[ℓ]·t[k+ℓ] — one fused multiply-add per cell
+// per length step, no FFT. It returns the head trimmed to the diagonals
+// that still exist at the new length (n−next+1 cells). This is what lets a
+// length-range scan seed its FFT exactly once: VALMOD's incremental
+// cross-length engine carries one head row through the whole range.
+func ExtendDiagonalHead(head, t []float64, cur, next int) ([]float64, error) {
+	if err := validate(len(t), cur); err != nil {
+		return nil, err
+	}
+	if err := validate(len(t), next); err != nil {
+		return nil, err
+	}
+	if next < cur || len(head) < len(t)-cur+1 {
+		return nil, fmt.Errorf("%w: extend from m=%d (head %d cells) to m=%d", ErrBadLength, cur, len(head), next)
+	}
+	n := len(t)
+	for ; cur < next; cur++ {
+		head = head[:n-cur] // diagonals still valid at length cur+1
+		a := t[cur]
+		tail := t[cur:]
+		for k := range head {
+			head[k] += a * tail[k]
+		}
+	}
+	return head[:n-next+1], nil
+}
+
+// ComputeFromHead builds the exact matrix profile at length m from a
+// diagonal head row (len ≥ n−m+1 cells, already at length m): each
+// diagonal streams from its head cell with the in-length recurrence, and
+// symmetry resolves both endpoints of every pair in one visit. Compute
+// seeds the head with one FFT; a caller holding an extended head (see
+// ExtendDiagonalHead) skips the FFT entirely.
+func ComputeFromHead(t []float64, m, exclFactor int, head []float64) (*profile.MatrixProfile, error) {
 	n := len(t)
 	if err := validate(n, m); err != nil {
 		return nil, err
 	}
 	s := n - m + 1
+	if len(head) < s {
+		return nil, fmt.Errorf("%w: head has %d cells, need %d at m=%d", ErrBadLength, len(head), s, m)
+	}
 	excl := profile.ExclusionZone(m, exclFactor)
 	mp := profile.New(m, excl, s)
 	if s <= excl {
 		return mp, nil // no non-trivial pairs exist
 	}
 	means, stds := series.SlidingMeanStd(t, m)
-	qt0 := fft.SlidingDotProducts(t[0:m], t)
 	fm := float64(m)
 	for k := excl; k < s; k++ {
-		qt := qt0[k]
+		qt := head[k]
 		for i := 0; i+k < s; i++ {
 			j := i + k
 			if i > 0 {
@@ -67,6 +121,19 @@ func Compute(t []float64, m, exclFactor int) (*profile.MatrixProfile, error) {
 		}
 	}
 	return mp, nil
+}
+
+// Compute returns the exact matrix profile of t at subsequence length m,
+// using exclusion zone ⌈m/exclFactor⌉ (exclFactor ≤ 0 selects the default).
+// Diagonal traversal: one FFT seeds every diagonal's first dot product
+// (DiagonalHead), then each diagonal streams in O(1) per cell
+// (ComputeFromHead).
+func Compute(t []float64, m, exclFactor int) (*profile.MatrixProfile, error) {
+	head, err := DiagonalHead(t, m)
+	if err != nil {
+		return nil, err
+	}
+	return ComputeFromHead(t, m, exclFactor, head)
 }
 
 // ComputeParallel is Compute with diagonals partitioned across workers.

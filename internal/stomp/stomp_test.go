@@ -243,3 +243,68 @@ func BenchmarkComputeParallelN2000M64(b *testing.B) {
 		}
 	}
 }
+
+// TestExtendDiagonalHeadMatchesSeed: the extend path (cross-length FMA
+// recurrence) must agree with the seed path (a fresh FFT) at the target
+// length, and the profile built from the extended head must match the
+// one built from a fresh seed.
+func TestExtendDiagonalHeadMatchesSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	x := randWalk(rng, 400)
+	const m0, m1 = 16, 40
+	head, err := DiagonalHead(x, m0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, err = ExtendDiagonalHead(head, x, m0, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := DiagonalHead(x, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) != len(fresh) {
+		t.Fatalf("extended head has %d cells, fresh seed %d", len(head), len(fresh))
+	}
+	for k := range fresh {
+		if math.Abs(head[k]-fresh[k]) > 1e-6*(1+math.Abs(fresh[k])) {
+			t.Fatalf("k=%d: extended %g, fresh %g", k, head[k], fresh[k])
+		}
+	}
+	got, err := ComputeFromHead(x, m1, 0, head)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Compute(x, m1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Dist {
+		if math.Abs(got.Dist[i]-want.Dist[i]) > 1e-6*(1+want.Dist[i]) {
+			t.Fatalf("i=%d: dist %g from extended head, %g from fresh seed", i, got.Dist[i], want.Dist[i])
+		}
+	}
+}
+
+// TestExtendDiagonalHeadValidation: the extend path rejects shrinking
+// targets, undersized heads and out-of-range lengths.
+func TestExtendDiagonalHeadValidation(t *testing.T) {
+	x := randWalk(rand.New(rand.NewSource(22)), 64)
+	head, err := DiagonalHead(x, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExtendDiagonalHead(head, x, 8, 6); err == nil {
+		t.Error("shrinking extension accepted")
+	}
+	if _, err := ExtendDiagonalHead(head[:10], x, 8, 12); err == nil {
+		t.Error("undersized head accepted")
+	}
+	if _, err := ExtendDiagonalHead(head, x, 8, len(x)+1); err == nil {
+		t.Error("target length beyond the series accepted")
+	}
+	if _, err := ComputeFromHead(x, 12, 0, head[:10]); err == nil {
+		t.Error("ComputeFromHead accepted an undersized head")
+	}
+}

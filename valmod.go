@@ -42,8 +42,14 @@ type Options struct {
 	// sits near s/log n ≈ 5% of anchors; see internal/core).
 	RecomputeFraction float64
 	// DisablePruning turns the lower-bound machinery off (ablation only:
-	// identical output, fixed-length recompute per length).
+	// identical output, one whole-profile pass per length).
 	DisablePruning bool
+	// DisableIncremental turns the incremental cross-length profile
+	// engine off: lengths that need the full profile (Discords, or
+	// DisablePruning) are recomputed from scratch per length instead of
+	// extending the carried dot-product state (ablation and parity
+	// reference only: equivalent output, strictly more work).
+	DisableIncremental bool
 	// Discords, when positive, additionally reports that many
 	// variable-length discords (Result.Discords): the subsequences whose
 	// nearest non-trivial neighbor is farthest. The extraction is
@@ -128,10 +134,27 @@ type LengthResult struct {
 	Pairs []MotifPair `json:"pairs"`
 	// Certified counts anchors resolved by the lower bound alone;
 	// Recomputed counts per-anchor recomputations; FullRecompute marks a
-	// wholesale fallback. Together they instrument the pruning.
+	// whole-profile resolution; Incremental refines it (the pass
+	// extended the carried cross-length state instead of recomputing
+	// from scratch). Together they instrument the per-length work.
 	Certified     int  `json:"certified"`
 	Recomputed    int  `json:"recomputed"`
 	FullRecompute bool `json:"full_recompute"`
+	Incremental   bool `json:"incremental,omitempty"`
+}
+
+// PlanStats instruments the engine's per-length planner over one run: how
+// many lengths ran the pruned pass, the incremental whole-profile pass,
+// or a from-scratch recompute (plus how often the incremental engine's
+// carried head row was FFT-seeded and FMA-extended). It doubles as the
+// wire DTO of the serving layer, hence the JSON tags.
+type PlanStats struct {
+	PrunedLengths      int `json:"pruned_lengths"`
+	IncrementalLengths int `json:"incremental_lengths"`
+	RecomputeLengths   int `json:"recompute_lengths"`
+	SkippedLengths     int `json:"skipped_lengths"`
+	HeadSeeds          int `json:"head_seeds"`
+	HeadExtensions     int `json:"head_extensions"`
 }
 
 // VALMAP is the variable-length matrix profile (demo Figure 1 d–f): for
@@ -185,6 +208,8 @@ type Result struct {
 	// Options.Discords), ranked by length-normalized distance
 	// descending; nil unless Options.Discords was positive.
 	Discords []Discord
+	// Plan reports how the per-length planner resolved the run.
+	Plan PlanStats
 
 	values []float64
 	excl   int
@@ -306,15 +331,16 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 		return nil, err
 	}
 	cfg := core.Config{
-		LMin:              lmin,
-		LMax:              lmax,
-		TopK:              opts.TopK,
-		P:                 opts.P,
-		ExclusionFactor:   opts.ExclusionFactor,
-		RecomputeFraction: opts.RecomputeFraction,
-		DisablePruning:    opts.DisablePruning,
-		Discords:          opts.Discords,
-		Workers:           opts.Workers,
+		LMin:               lmin,
+		LMax:               lmax,
+		TopK:               opts.TopK,
+		P:                  opts.P,
+		ExclusionFactor:    opts.ExclusionFactor,
+		RecomputeFraction:  opts.RecomputeFraction,
+		DisablePruning:     opts.DisablePruning,
+		DisableIncremental: opts.DisableIncremental,
+		Discords:           opts.Discords,
+		Workers:            opts.Workers,
 	}
 	if cb := opts.Progress; cb != nil {
 		cfg.OnLength = func(p core.Progress) {
@@ -332,6 +358,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 		N:      res.N,
 		LMin:   lmin,
 		LMax:   lmax,
+		Plan:   PlanStats(res.Plan),
 		values: values,
 		excl:   res.Cfg.ExclusionFactor,
 	}
@@ -378,6 +405,7 @@ func lengthResultFromCore(lr core.LengthResult) LengthResult {
 		Certified:     lr.Stats.Certified,
 		Recomputed:    lr.Stats.Recomputed,
 		FullRecompute: lr.Stats.FullRecompute,
+		Incremental:   lr.Stats.Incremental,
 	}
 	for _, p := range lr.Pairs {
 		plr.Pairs = append(plr.Pairs, fromInternal(p))
