@@ -209,6 +209,40 @@ func BenchmarkProcessLengthSerial(b *testing.B) { benchProcessLength(b, 1) }
 // advance→certify pass sharded across 4 workers.
 func BenchmarkProcessLengthParallel(b *testing.B) { benchProcessLength(b, 4) }
 
+// BenchmarkBenchCasePairs mirrors the valmod-experiments bench-json
+// ecg/pairs case (n=5000, [64,83], pruned plan, workers=1) so the
+// committed BENCH_PR*.json numbers can be re-derived and profiled with
+// the standard go test tooling.
+func BenchmarkBenchCasePairs(b *testing.B) {
+	s, err := gen.Dataset("ecg", 5000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := valmod.Discover(s.Values, 64, 83, valmod.Options{TopK: 10, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBenchCaseDiscords mirrors the bench-json ecg/pairs+discords
+// case (incremental full-profile plan).
+func BenchmarkBenchCaseDiscords(b *testing.B) {
+	s, err := gen.Dataset("ecg", 5000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := valmod.Discover(s.Values, 64, 83, valmod.Options{TopK: 10, Discords: 5, Workers: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationParallelSTOMP compares serial and goroutine-partitioned
 // STOMP at a fixed length.
 func BenchmarkAblationParallelSTOMP(b *testing.B) {

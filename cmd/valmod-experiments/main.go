@@ -8,14 +8,17 @@
 // Besides the figures, -bench-json runs a small fixed benchmark suite —
 // pairs-only vs pairs+discords over the same generated datasets — and
 // emits machine-readable JSON, so successive PRs can track the engine's
-// speed from committed baselines (BENCH_PR3.json is the first).
+// speed from committed baselines (BENCH_PR3.json is the first);
+// -bench-large adds the n=50k/100k cases. -cpuprofile/-memprofile wrap any
+// of the workloads in pprof capture (see README "Profiling the engine").
 //
 // Usage:
 //
 //	valmod-experiments -fig 1left
 //	valmod-experiments -fig 3top -n 20000 -timeout 2m
 //	valmod-experiments -fig all
-//	valmod-experiments -bench-json -bench-out BENCH_PR3.json
+//	valmod-experiments -bench-json -bench-large -bench-out BENCH_PR5.json
+//	valmod-experiments -bench-json -cpuprofile cpu.prof
 package main
 
 import (
@@ -25,6 +28,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -54,11 +58,41 @@ func main() {
 		benchN  = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
 		out     = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
 		parity  = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series and exit non-zero if they disagree on the best pair — the CI smoke check")
+		large   = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4) to the -bench-json suite")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this file (pprof format)")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the workload) to this file (pprof format)")
 	)
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the steady-state picture, not transient garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+			}
+		}()
+	}
 	if *bench || *parity {
 		if *bench {
-			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers); err != nil {
+			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large); err != nil {
 				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
 				os.Exit(1)
 			}
@@ -100,13 +134,27 @@ type benchCase struct {
 	// Per-length plan breakdown (valmod.PlanStats): pruned vs incremental
 	// vs from-scratch lengths, plus the incremental engine's head-row
 	// seeds (FFTs) and one-FMA-per-cell extensions.
-	PrunedLengths      int     `json:"pruned_lengths"`
-	IncrementalLengths int     `json:"incremental_lengths,omitempty"`
-	RecomputeLengths   int     `json:"recompute_lengths"`
-	HeadSeeds          int     `json:"head_seeds,omitempty"`
-	HeadExtensions     int     `json:"head_extensions,omitempty"`
+	PrunedLengths      int `json:"pruned_lengths"`
+	IncrementalLengths int `json:"incremental_lengths,omitempty"`
+	RecomputeLengths   int `json:"recompute_lengths"`
+	HeadSeeds          int `json:"head_seeds,omitempty"`
+	HeadExtensions     int `json:"head_extensions,omitempty"`
+	// Allocation accounting across the timed run (runtime.MemStats deltas
+	// divided by the length count): with the zero-alloc steady state the
+	// per-length numbers are dominated by per-run setup, so they fall as
+	// the range grows — the committed baselines record the trend.
+	AllocsPerLength float64 `json:"allocs_per_length"`
+	BytesPerLength  float64 `json:"bytes_per_length"`
+	// Result anchors. The offsets/lengths pin the discovery exactly;
+	// distances can drift in trailing digits across arithmetic changes
+	// (documented per PR), so anchor identity is checked on offsets.
 	BestNormDist       float64 `json:"best_norm_dist"`
+	BestA              int     `json:"best_a"`
+	BestB              int     `json:"best_b"`
+	BestLength         int     `json:"best_length"`
 	TopDiscordNormDist float64 `json:"top_discord_norm_dist,omitempty"`
+	TopDiscordOffset   int     `json:"top_discord_offset,omitempty"`
+	TopDiscordLength   int     `json:"top_discord_length,omitempty"`
 }
 
 // benchReport is the whole -bench-json document.
@@ -124,7 +172,7 @@ type benchReport struct {
 // full-profile plan) over the same series and length range. Timings are
 // machine-dependent; the result anchors are not (fixed seed, fixed
 // grids), so baseline diffs separate "faster/slower" from "different".
-func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
+func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bool) error {
 	const rangeLen = 20
 	rep := benchReport{
 		GoVersion: runtime.Version(),
@@ -132,6 +180,66 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Seed:      seed,
+	}
+	runCase := func(ds string, n, discords, caseWorkers int, tag string) error {
+		s, err := gen.Dataset(ds, n, seed)
+		if err != nil {
+			return err
+		}
+		opts := valmod.Options{TopK: 10, Discords: discords, Workers: caseWorkers}
+		var m0, m1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		res, err := valmod.Discover(s.Values, lmin, lmin+rangeLen-1, opts)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		kind := "pairs"
+		if discords > 0 {
+			kind = "pairs+discords"
+		}
+		name := fmt.Sprintf("%s/%s%s", ds, kind, tag)
+		if caseWorkers != workers {
+			name = fmt.Sprintf("%s@w%d", name, caseWorkers)
+		}
+		bc := benchCase{
+			Name:    name,
+			Dataset: ds, N: n,
+			LMin: lmin, LMax: lmin + rangeLen - 1,
+			TopK: opts.TopK, Discords: discords, Workers: caseWorkers,
+			Seconds:            elapsed.Seconds(),
+			Lengths:            len(res.PerLength),
+			PrunedLengths:      res.Plan.PrunedLengths,
+			IncrementalLengths: res.Plan.IncrementalLengths,
+			RecomputeLengths:   res.Plan.RecomputeLengths,
+			HeadSeeds:          res.Plan.HeadSeeds,
+			HeadExtensions:     res.Plan.HeadExtensions,
+		}
+		if lengths := len(res.PerLength); lengths > 0 {
+			bc.AllocsPerLength = float64(m1.Mallocs-m0.Mallocs) / float64(lengths)
+			bc.BytesPerLength = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(lengths)
+		}
+		for _, lr := range res.PerLength {
+			bc.CertifiedAnchors += lr.Certified
+			bc.RecomputedAnchors += lr.Recomputed
+			if lr.FullRecompute {
+				bc.FullRecomputes++
+			}
+		}
+		if best, ok := res.BestOverall(); ok {
+			bc.BestNormDist = best.NormDistance
+			bc.BestA, bc.BestB, bc.BestLength = best.A, best.B, best.Length
+		}
+		if len(res.Discords) > 0 {
+			bc.TopDiscordNormDist = res.Discords[0].NormDistance
+			bc.TopDiscordOffset = res.Discords[0].Offset
+			bc.TopDiscordLength = res.Discords[0].Length
+		}
+		rep.Cases = append(rep.Cases, bc)
+		return nil
 	}
 	// The grid: pairs-only (pruned plan) and pairs+discords (incremental
 	// full-profile plan) at the flag's worker count, plus pairs+discords
@@ -145,53 +253,31 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int) error {
 		specs = append(specs, benchSpec{5, 4})
 	}
 	for _, ds := range []string{"ecg", "astro"} {
-		s, err := gen.Dataset(ds, n, seed)
-		if err != nil {
-			return err
-		}
 		for _, spec := range specs {
-			opts := valmod.Options{TopK: 10, Discords: spec.discords, Workers: spec.workers}
-			start := time.Now()
-			res, err := valmod.Discover(s.Values, lmin, lmin+rangeLen-1, opts)
-			if err != nil {
+			if err := runCase(ds, n, spec.discords, spec.workers, ""); err != nil {
 				return err
 			}
-			elapsed := time.Since(start)
-			kind := "pairs"
-			if spec.discords > 0 {
-				kind = "pairs+discords"
+		}
+	}
+	if large {
+		// Large-series cases proving the kernels at 10–20× the classic n,
+		// each at workers=1 and workers=4 so the baselines also witness the
+		// fixed-grid bit-identity at scale (the anchors must match).
+		for _, lc := range []struct {
+			n, discords, workers int
+			tag                  string
+		}{
+			{50000, 0, 1, "@n50k"},
+			{50000, 0, 4, "@n50k"},
+			{100000, 5, 1, "@n100k"},
+			{100000, 5, 4, "@n100k"},
+		} {
+			// runCase appends a @w suffix whenever the case's worker count
+			// differs from the -workers flag, keeping the w1/w4 pair of each
+			// size distinguishable under the default flag value of 1.
+			if err := runCase("ecg", lc.n, lc.discords, lc.workers, lc.tag); err != nil {
+				return err
 			}
-			name := fmt.Sprintf("%s/%s", ds, kind)
-			if spec.workers != workers {
-				name = fmt.Sprintf("%s@w%d", name, spec.workers)
-			}
-			bc := benchCase{
-				Name:    name,
-				Dataset: ds, N: n,
-				LMin: lmin, LMax: lmin + rangeLen - 1,
-				TopK: opts.TopK, Discords: spec.discords, Workers: spec.workers,
-				Seconds:            elapsed.Seconds(),
-				Lengths:            len(res.PerLength),
-				PrunedLengths:      res.Plan.PrunedLengths,
-				IncrementalLengths: res.Plan.IncrementalLengths,
-				RecomputeLengths:   res.Plan.RecomputeLengths,
-				HeadSeeds:          res.Plan.HeadSeeds,
-				HeadExtensions:     res.Plan.HeadExtensions,
-			}
-			for _, lr := range res.PerLength {
-				bc.CertifiedAnchors += lr.Certified
-				bc.RecomputedAnchors += lr.Recomputed
-				if lr.FullRecompute {
-					bc.FullRecomputes++
-				}
-			}
-			if best, ok := res.BestOverall(); ok {
-				bc.BestNormDist = best.NormDistance
-			}
-			if len(res.Discords) > 0 {
-				bc.TopDiscordNormDist = res.Discords[0].NormDistance
-			}
-			rep.Cases = append(rep.Cases, bc)
 		}
 	}
 	w := os.Stdout

@@ -127,6 +127,25 @@ type Shard struct{ Lo, Hi int }
 // which worker processes which shard — so any schedule over the shards
 // computes identical results.
 func (s *Store) Shards(n, count int) []Shard {
+	return s.ShardsInto(n, count, nil)
+}
+
+// DrainHotRows removes every cached row, handing each to release (the
+// engine returns them to its row pool). After draining no anchor is hot;
+// the store remains usable.
+func (s *Store) DrainHotRows(release func([]float64)) {
+	for i, row := range s.hotRows {
+		if row != nil {
+			release(row)
+			s.hotRows[i] = nil
+		}
+	}
+	s.hotCount = 0
+}
+
+// ShardsInto is Shards appending into buf (reused across lengths by the
+// advance pass so the steady state allocates nothing).
+func (s *Store) ShardsInto(n, count int, buf []Shard) []Shard {
 	if n > len(s.states) {
 		n = len(s.states)
 	}
@@ -136,7 +155,7 @@ func (s *Store) Shards(n, count int) []Shard {
 	if count < 1 {
 		count = 1
 	}
-	out := make([]Shard, 0, count)
+	out := buf[:0]
 	for w := 0; w < count; w++ {
 		lo, hi := w*n/count, (w+1)*n/count
 		if lo < hi {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/seriesmining/valmod/internal/core/anchors"
 	"github.com/seriesmining/valmod/internal/fft"
@@ -18,10 +19,23 @@ import (
 // Run calls; per-run state lives in the run struct.
 type Engine struct {
 	rowPool sync.Pool // stores *[]float64, capacity re-checked on Get
+
+	// rowGets/rowPuts count getRow/putRow calls. Every acquired row must
+	// be returned exactly once (hot-cache rows included, drained at run
+	// end), so after any number of completed runs the two counters are
+	// equal — the invariant TestRowPoolBalanced asserts to catch row
+	// leaks like the one recomputeBatch's retention path used to have.
+	rowGets, rowPuts atomic.Int64
 }
 
 // NewEngine returns an Engine with empty pools.
 func NewEngine() *Engine { return &Engine{} }
+
+// rowPoolBalance returns getRow calls minus putRow calls: 0 when every
+// scratch row has been returned (no run in flight).
+func (e *Engine) rowPoolBalance() int64 {
+	return e.rowGets.Load() - e.rowPuts.Load()
+}
 
 // defaultEngine backs the package-level Run/RunContext helpers so one-shot
 // callers still share pooled scratch process-wide.
@@ -42,6 +56,7 @@ func RunContext(ctx context.Context, t []float64, cfg Config) (*Result, error) {
 }
 
 func (e *Engine) getRow(n int) []float64 {
+	e.rowGets.Add(1)
 	if v := e.rowPool.Get(); v != nil {
 		if row := *(v.(*[]float64)); cap(row) >= n {
 			return row[:n]
@@ -51,6 +66,7 @@ func (e *Engine) getRow(n int) []float64 {
 }
 
 func (e *Engine) putRow(row []float64) {
+	e.rowPuts.Add(1)
 	e.rowPool.Put(&row)
 }
 
@@ -105,6 +121,19 @@ type run struct {
 	means, stds, invStds []float64
 	degCount             int
 	rowQT                []float64 // scratch dot-product row for run scans
+
+	// Steady-state per-length scratch, allocated (or pooled) once per run
+	// and recycled across lengths so the pruned per-length pass performs
+	// zero heap allocations after the first length (asserted by
+	// TestProcessLengthSteadyStateZeroAlloc):
+	lmp     profile.MatrixProfile // candidate profile of the pruned pass
+	topk    profile.TopKScratch   // TopKPairsInto working memory
+	need    []int                 // per-round recompute set
+	runs    []recSpan             // contiguous recompute runs of a batch
+	hotPend []int                 // isolated hard anchors of a batch
+	hotRows [][]float64           // per-batch recomputed rows awaiting retention
+	degs    []int                 // degenerate offsets of fixupDegenerate
+	shards  []anchors.Shard       // advance-pass shard grid
 }
 
 // momentsAt fills the cached sliding mean/σ/1÷σ arrays for length l (O(s)
@@ -220,6 +249,14 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 		corr:    fft.NewCorrelator(t, cfg.LMax),
 	}
 	defer r.corr.Release()
+	// The run-scan row buffer is pooled (sMin covers every length), and
+	// every row the hot cache retained goes back to the pool at run end —
+	// the engine's get/put balance is the row-leak invariant.
+	r.rowQT = e.getRow(sMin)
+	defer func() {
+		e.putRow(r.rowQT)
+		r.store.DrainHotRows(e.putRow)
+	}()
 
 	plans := planLengths(cfg, sinks)
 	lastPruned := -1
@@ -268,7 +305,7 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 					return r.planStats, err
 				}
 				r.planStats.RecomputeLengths++
-				lr := LengthResult{M: l, Pairs: mp.TopKPairs(cfg.TopK)}
+				lr := LengthResult{M: l, Pairs: mp.TopKPairsInto(cfg.TopK, &r.topk)}
 				lr.Stats.FullRecompute = true
 				dispatch(LengthData{L: l, Result: lr, Profile: mp}, done)
 				continue

@@ -24,6 +24,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/seriesmining/valmod/internal/kernels"
 	"github.com/seriesmining/valmod/internal/profile"
 	"github.com/seriesmining/valmod/internal/stomp"
 )
@@ -140,7 +141,7 @@ func (r *run) processLengthIncremental(l int) (LengthResult, *profile.MatrixProf
 			if err := r.ctx.Err(); err != nil {
 				return lr, nil, err
 			}
-			r.diagScan(b.k0, b.k1, l, s, head, corr, idx)
+			kernels.DiagScan(r.t, head, r.means, r.invStds, b.k0, b.k1, l, s, corr, idx)
 		}
 	} else {
 		var next atomic.Int64
@@ -158,7 +159,7 @@ func (r *run) processLengthIncremental(l int) (LengthResult, *profile.MatrixProf
 					if b >= len(blocks) {
 						return
 					}
-					r.diagScan(blocks[b].k0, blocks[b].k1, l, s, head, corr, idx)
+					kernels.DiagScan(r.t, head, r.means, r.invStds, blocks[b].k0, blocks[b].k1, l, s, corr, idx)
 				}
 			}(w)
 		}
@@ -202,48 +203,20 @@ func (r *run) processLengthIncremental(l int) (LengthResult, *profile.MatrixProf
 	if r.degCount > 0 {
 		r.fixupDegenerate(mp, excl, s)
 	}
-	lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+	lr.Pairs = mp.TopKPairsInto(r.cfg.TopK, &r.topk)
 	lr.Stats.FullRecompute = true
 	lr.Stats.Incremental = true
 	return lr, mp, nil
 }
 
-// diagScan streams diagonals [k0, k1) at length l: each diagonal starts
-// from its head cell, advances with the in-length recurrence, and each
-// cell's division-free correlation updates the best-so-far of both
-// endpoints under the total order (corr desc, neighbor asc). corr/idx are
-// the caller-owned accumulators (a worker local or the shared slot-0
-// arrays). The moment cache must already be at l.
-//
-// A degenerate endpoint (σ = 0, inv = 0) zeroes the correlation, which
-// matches the one-constant-window convention d = √(2ℓ); the
-// both-constant-windows case (d = 0) is restored by fixupDegenerate.
-func (r *run) diagScan(k0, k1, l, s int, head, corr []float64, idx []int32) {
-	t := r.t
-	means, invs := r.means, r.invStds
-	invFl := 1 / float64(l)
-	for k := k0; k < k1; k++ {
-		qt := head[k]
-		c := (qt*invFl - means[0]*means[k]) * invs[0] * invs[k]
-		if c > corr[0] || (c == corr[0] && int32(k) < idx[0]) {
-			corr[0], idx[0] = c, int32(k)
-		}
-		if c > corr[k] || (c == corr[k] && 0 < idx[k]) {
-			corr[k], idx[k] = c, 0
-		}
-		for i := 1; i+k < s; i++ {
-			j := i + k
-			qt += t[i+l-1]*t[j+l-1] - t[i-1]*t[j-1]
-			c := (qt*invFl - means[i]*means[j]) * invs[i] * invs[j]
-			if c > corr[i] || (c == corr[i] && int32(j) < idx[i]) {
-				corr[i], idx[i] = c, int32(j)
-			}
-			if c > corr[j] || (c == corr[j] && int32(i) < idx[j]) {
-				corr[j], idx[j] = c, int32(i)
-			}
-		}
-	}
-}
+// The diagonal scan itself lives in kernels.DiagScan (shared, interleaved,
+// parity-tested against kernels.RefDiagScan): each diagonal starts from
+// its head cell, advances with the in-length recurrence, and each cell's
+// division-free correlation updates the best-so-far of both endpoints
+// under the total order (corr desc, neighbor asc). A degenerate endpoint
+// (σ = 0, inv = 0) zeroes the correlation, which matches the
+// one-constant-window convention d = √(2ℓ); the both-constant-windows case
+// (d = 0) is restored by fixupDegenerate.
 
 // fixupDegenerate restores the constant-window convention the fused
 // correlation kernel cannot express: two degenerate (σ = 0) subsequences
@@ -252,12 +225,13 @@ func (r *run) diagScan(k0, k1, l, s int, head, corr []float64, idx []int32) {
 // qualifying degenerate offset — the same index the ascending scalar scan
 // of the recompute path selects.
 func (r *run) fixupDegenerate(mp *profile.MatrixProfile, excl, s int) {
-	var degs []int
+	degs := r.degs[:0]
 	for i := 0; i < s; i++ {
 		if r.invStds[i] == 0 {
 			degs = append(degs, i)
 		}
 	}
+	r.degs = degs
 	for _, i := range degs {
 		for _, j := range degs {
 			if j > i-excl && j < i+excl {

@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 
 	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/kernels"
 	"github.com/seriesmining/valmod/internal/lb"
 	"github.com/seriesmining/valmod/internal/profile"
 	"github.com/seriesmining/valmod/internal/series"
@@ -40,7 +41,7 @@ func (r *run) processLengthFull(l int) (LengthResult, *profile.MatrixProfile, er
 	if err != nil {
 		return lr, nil, err
 	}
-	lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+	lr.Pairs = mp.TopKPairsInto(r.cfg.TopK, &r.topk)
 	lr.Stats.FullRecompute = true
 	return lr, mp, nil
 }
@@ -67,8 +68,11 @@ func (r *run) processLength(l int) (LengthResult, error) {
 	// pair distance (upper bound on their profile value), which sharpens τ
 	// and provably never survives into the reported top-k: a chosen
 	// uncertified pair would have minDist ≤ τ, hence maxLB < τ, putting
-	// its anchor into the recompute set below.
-	lmp := profile.New(l, excl, s)
+	// its anchor into the recompute set below. lmp is run-owned scratch:
+	// it never leaves processLength, so recycling it across lengths is
+	// invisible outside (and makes the steady state allocation-free).
+	lmp := &r.lmp
+	lmp.Reset(l, excl, s)
 	certified := 0
 	for i := 0; i < s; i++ {
 		if r.indexes[i] >= 0 {
@@ -92,7 +96,7 @@ func (r *run) processLength(l int) (LengthResult, error) {
 		if err := r.ctx.Err(); err != nil {
 			return lr, err
 		}
-		pairs := lmp.TopKPairs(r.cfg.TopK)
+		pairs := lmp.TopKPairsInto(r.cfg.TopK, &r.topk)
 		// τ is the certification threshold: with a full top-k in hand, the
 		// k-th best distance; otherwise +Inf (anything could still improve
 		// the set).
@@ -100,12 +104,13 @@ func (r *run) processLength(l int) (LengthResult, error) {
 		if len(pairs) == r.cfg.TopK {
 			tau = pairs[len(pairs)-1].Dist
 		}
-		var need []int
+		need := r.need[:0]
 		for i := 0; i < s; i++ {
 			if !r.cert[i] && r.maxLBs[i] <= tau {
 				need = append(need, i)
 			}
 		}
+		r.need = need
 		if len(need) == 0 {
 			lr.Pairs = pairs
 			lr.Stats.Recomputed = recomputed
@@ -116,7 +121,7 @@ func (r *run) processLength(l int) (LengthResult, error) {
 			if err != nil {
 				return lr, err
 			}
-			lr.Pairs = mp.TopKPairs(r.cfg.TopK)
+			lr.Pairs = mp.TopKPairsInto(r.cfg.TopK, &r.topk)
 			lr.Stats.Recomputed = recomputed
 			lr.Stats.FullRecompute = true
 			return lr, nil
@@ -136,18 +141,20 @@ func (r *run) processLength(l int) (LengthResult, error) {
 // disjoint anchors, so they are distributed across Workers goroutines with
 // bit-identical results; only the hot-cache retention stays serial, in
 // need order, so the cache contents are deterministic too.
+// recSpan is one contiguous recompute run [lo, lo+count).
+type recSpan struct{ lo, count int }
+
 func (r *run) recomputeBatch(need []int, l, excl, s int, lmp *profile.MatrixProfile) {
 	const runReseedMin = 8
-	type span struct{ lo, count int }
-	var runs []span
-	var hotPend []int
+	runs := r.runs[:0]
+	hotPend := r.hotPend[:0]
 	for start := 0; start < len(need); {
 		end := start + 1
 		for end < len(need) && need[end] == need[end-1]+1 {
 			end++
 		}
 		if end-start >= runReseedMin {
-			runs = append(runs, span{need[start], end - start})
+			runs = append(runs, recSpan{need[start], end - start})
 		} else {
 			hotPend = append(hotPend, need[start:end]...)
 		}
@@ -157,8 +164,13 @@ func (r *run) recomputeBatch(need []int, l, excl, s int, lmp *profile.MatrixProf
 		start = end
 	}
 
+	r.runs, r.hotPend = runs, hotPend
+
 	nJobs := len(runs) + (len(hotPend)+1)/2
-	hotRows := make([][]float64, len(hotPend))
+	if cap(r.hotRows) < len(hotPend) {
+		r.hotRows = make([][]float64, len(hotPend))
+	}
+	hotRows := r.hotRows[:len(hotPend)]
 	runJob := func(k int, corr *fft.Correlator, rowBuf []float64) {
 		if k < len(runs) {
 			r.processRunWith(runs[k].lo, runs[k].count, l, excl, s, lmp, corr, rowBuf)
@@ -185,9 +197,6 @@ func (r *run) recomputeBatch(need []int, l, excl, s int, lmp *profile.MatrixProf
 		workers = nJobs
 	}
 	if workers <= 1 {
-		if cap(r.rowQT) < s {
-			r.rowQT = make([]float64, s)
-		}
 		for k := 0; k < nJobs; k++ {
 			runJob(k, r.corr, r.rowQT[:s])
 		}
@@ -214,11 +223,15 @@ func (r *run) recomputeBatch(need []int, l, excl, s int, lmp *profile.MatrixProf
 		wg.Wait()
 	}
 
-	// Hot-cache retention: serial, in need order.
+	// Hot-cache retention: serial, in need order. Every recomputed row is
+	// either retained by the store (and returned to the pool when the run
+	// drains the hot cache) or returned here — no third path, so the
+	// engine's get/put balance stays exact.
 	for x, i := range hotPend {
 		if !r.store.MakeHot(i, hotRows[x], l) {
 			r.eng.putRow(hotRows[x])
 		}
+		hotRows[x] = nil // no stale row outlives the batch
 	}
 }
 
@@ -239,7 +252,8 @@ func (r *run) advanceAll(l, excl, s int) {
 	}
 	// More shards than workers evens out load skew (hot anchors cluster);
 	// the shard grid is fixed by s alone, assignment order is irrelevant.
-	shards := r.store.Shards(s, workers*4)
+	shards := r.store.ShardsInto(s, workers*4, r.shards)
+	r.shards = shards
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -305,9 +319,9 @@ func (r *run) advanceShard(lo, hi, l, excl, s int) {
 			if j >= s {
 				continue // candidate no longer long enough
 			}
-			for ll := from; ll <= l; ll++ {
-				ent.Advance(r.t, i, ll)
-			}
+			// All pending length steps in one fused pass (the per-length
+			// lb.Entry.Advance loop, carried through every step at once).
+			ent.QT = kernels.AdvanceDot(ent.QT, r.t, i, j, from-1, l)
 			if j > i-excl && j < i+excl {
 				continue // grown exclusion zone swallowed it
 			}
@@ -327,17 +341,12 @@ func (r *run) advanceShard(lo, hi, l, excl, s int) {
 }
 
 // advanceAndScanHot advances anchor i's cached dot-product row from length
-// cur to length l (one fused multiply-add per cell per length step) and
-// scans it for the exact profile value — certification without FFT work.
+// cur to length l (every pending length step carried through each cell in
+// one fused kernels.ExtendRow pass) and scans it for the exact profile
+// value — certification without FFT work.
 func (r *run) advanceAndScanHot(i, l, excl, s int, row []float64, cur int) {
-	t := r.t
 	fl := float64(l)
-	for ; cur < l; cur++ {
-		tail := t[i+cur]
-		for j := 0; j < len(t)-cur; j++ {
-			row[j] += tail * t[j+cur]
-		}
-	}
+	kernels.ExtendRow(row, r.t, i, cur, l)
 	r.store.SetHotLen(i, l)
 
 	means, stds, invs := r.means, r.stds, r.invStds
@@ -356,16 +365,8 @@ func (r *run) advanceAndScanHot(i, l, excl, s int, row []float64, cur int) {
 		r.dists[i], r.indexes[i], r.cert[i] = best, bestJ, true
 		return
 	}
-	bestCorr, bestJ := math.Inf(-1), -1
-	for j := 0; j < s; j++ {
-		if j > i-excl && j < i+excl {
-			continue
-		}
-		corr := (row[j]/fl - muA*means[j]) * invA * invs[j]
-		if corr > bestCorr {
-			bestCorr, bestJ = corr, j
-		}
-	}
+	e1, j2 := exclSplit(i, excl, s)
+	bestCorr, bestJ := kernels.ArgmaxCorr(row, means, invs, e1, j2, s, 1/fl, muA, invA, math.Inf(-1), -1)
 	if bestJ >= 0 {
 		if bestCorr > 1 {
 			bestCorr = 1

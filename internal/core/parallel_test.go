@@ -107,6 +107,62 @@ func TestWorkersBitIdentical(t *testing.T) {
 	}
 }
 
+// TestWorkersBitIdenticalDegenerate extends the bit-identity guarantee to
+// the adversarial inputs the kernel parity suite uses: planted constant
+// segments (σ=0 windows, hitting the degenerate row scans and the
+// incremental plan's fixupDegenerate post-pass) and exclusion zones
+// clipped at the series edges — across both the pruned and the
+// incremental (discords) plan, at every worker count.
+func TestWorkersBitIdenticalDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	x := randWalk(rng, 1100)
+	for i := 300; i < 380; i++ {
+		x[i] = 3.25 // interior constant segment
+	}
+	for i := len(x) - 60; i < len(x); i++ {
+		x[i] = -1.5 // constant segment flush against the series end
+	}
+	for _, discords := range []int{0, 3} {
+		var results []*Result
+		for _, w := range []int{1, 2, 4, 5} {
+			res, err := Run(x, Config{LMin: 12, LMax: 40, TopK: 3, P: 5, Discords: discords, Workers: w})
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+		}
+		base := results[0]
+		for ri, res := range results[1:] {
+			for i := range base.MPMin.Dist {
+				if base.MPMin.Dist[i] != res.MPMin.Dist[i] || base.MPMin.Index[i] != res.MPMin.Index[i] {
+					t.Fatalf("discords=%d variant %d: profile slot %d differs", discords, ri, i)
+				}
+			}
+			for li := range base.PerLength {
+				a, b := base.PerLength[li], res.PerLength[li]
+				if len(a.Pairs) != len(b.Pairs) {
+					t.Fatalf("discords=%d variant %d: m=%d pair count", discords, ri, a.M)
+				}
+				for pi := range a.Pairs {
+					if a.Pairs[pi] != b.Pairs[pi] {
+						t.Fatalf("discords=%d variant %d: m=%d pair %d: %v vs %v",
+							discords, ri, a.M, pi, a.Pairs[pi], b.Pairs[pi])
+					}
+				}
+			}
+			if len(base.Discords) != len(res.Discords) {
+				t.Fatalf("discords=%d variant %d: discord count", discords, ri)
+			}
+			for di := range base.Discords {
+				if base.Discords[di] != res.Discords[di] {
+					t.Fatalf("discords=%d variant %d: discord %d: %+v vs %+v",
+						discords, ri, di, base.Discords[di], res.Discords[di])
+				}
+			}
+		}
+	}
+}
+
 // TestProgressCallback: OnLength fires once per length, in order, with
 // results matching the returned PerLength slice.
 func TestProgressCallback(t *testing.T) {

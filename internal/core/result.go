@@ -80,7 +80,11 @@ type Progress struct {
 	// Done counts completed lengths (this one included); Total is the
 	// number of lengths the run will process (LMax − LMin + 1).
 	Done, Total int
-	// Result is the completed length's exact result.
+	// Result is the completed length's exact result. Result.Pairs is
+	// backed by engine-owned scratch valid only during the callback;
+	// callbacks that retain pairs must copy them (the public valmod
+	// wrapper converts into fresh wire structs, so its callers are
+	// unaffected).
 	Result LengthResult
 }
 

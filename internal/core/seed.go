@@ -5,7 +5,9 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/seriesmining/valmod/internal/core/anchors"
 	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/kernels"
 	"github.com/seriesmining/valmod/internal/lb"
 	"github.com/seriesmining/valmod/internal/profile"
 	"github.com/seriesmining/valmod/internal/series"
@@ -39,9 +41,6 @@ func (r *run) seedAll(l int) (*profile.MatrixProfile, error) {
 		workers = nBlocks
 	}
 	if workers <= 1 {
-		if cap(r.rowQT) < s {
-			r.rowQT = make([]float64, s)
-		}
 		for b := 0; b < nBlocks; b++ {
 			if err := r.ctx.Err(); err != nil {
 				return nil, err
@@ -110,36 +109,46 @@ func blockBounds(b, s int) (lo, hi int) {
 
 // processRunWith resolves the contiguous anchors [i0, i0+count) exactly at
 // length l: one FFT seeds the dot-product row of i0, each following row
-// costs O(s) via the STOMP recurrence, and a single fused pass per row
-// finds the exact profile minimum (division-free correlation compare) and
-// reseeds the anchor's partial profile. It writes exact values into mp.
-// The correlator and row buffer are caller-owned, enabling concurrent
-// block scans; the moment cache must already be at l.
+// costs O(s) via the STOMP recurrence (kernels.RowNext), and per row the
+// kernel scans find the exact profile minimum (division-free correlation
+// compare) and reseed the anchor's partial profile. It writes exact values
+// into mp. The correlator and row buffer are caller-owned, enabling
+// concurrent block scans; the moment cache must already be at l.
 func (r *run) processRunWith(i0, count, l, excl, s int, mp *profile.MatrixProfile, corr *fft.Correlator, rowBuf []float64) {
 	t := r.t
 	row := corr.Dots(t[i0:i0+l], rowBuf)
 	for i := i0; i < i0+count; i++ {
 		if i > i0 {
-			// Row recurrence, descending j so row[j-1] is still row i−1.
-			tail := t[i+l-1]
-			head := t[i-1]
-			for j := s - 1; j >= 1; j-- {
-				row[j] = row[j-1] + tail*t[j+l-1] - head*t[j-1]
-			}
+			kernels.RowNext(row, t, i, l, s)
 			row[0] = series.Dot(t[i:i+l], t[0:l])
 		}
 		r.scanRow(i, l, excl, s, row, mp)
 	}
 }
 
-// scanRow is the fused per-row pass: exact nearest neighbor of anchor i at
+// exclSplit maps anchor i's exclusion interval (j excluded when
+// i−excl < j < i+excl) onto the two included branch-free ranges
+// [0, e1) and [j2, s) the kernels take, clipped at the series edges.
+func exclSplit(i, excl, s int) (e1, j2 int) {
+	e1 = i - excl + 1
+	if e1 < 0 {
+		e1 = 0
+	}
+	j2 = i + excl
+	if j2 > s {
+		j2 = s
+	}
+	return e1, j2
+}
+
+// scanRow is the per-row pass: exact nearest neighbor of anchor i at
 // length l (outside the exclusion zone) plus the partial-profile reseed
 // (top-p candidates by q̃²). The moment cache must be filled for l. Each
 // anchor touches only its own state, so rows may be scanned concurrently.
 // On a profileOnly run the reseed feeds nothing (the advance→certify pass
-// never runs), so the row takes the lean profile-only scan instead — the
-// correlation compare is the identical expression, so the profile values
-// are bit-for-bit the same on either path.
+// never runs), so the row takes the lean profile-only scan instead — both
+// paths share kernels.ArgmaxCorr, so the profile values are bit-for-bit
+// the same on either.
 func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
 	if r.profileOnly {
 		r.scanRowProfileOnly(i, l, excl, s, row, mp)
@@ -157,58 +166,21 @@ func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfil
 	// Degenerate anchor: the fused correlation math is undefined; fall back
 	// to the convention-aware scalar path for this (rare) row.
 	if invA == 0 {
-		for j := 0; j < s; j++ {
-			if j > i-excl && j < i+excl {
-				continue
-			}
-			d := series.DistFromDot(row[j], fl, muA, 0, means[j], r.stds[j])
-			mp.Update(i, d, j)
-		}
+		r.scanRowDegenerate(i, l, excl, s, row, mp)
 		a.Degenerate = true
 		return
 	}
 
-	bestCorr := math.Inf(-1)
-	bestJ := -1
-	heapMinQ2 := math.Inf(-1) // q̃² of the heap root once the heap is full
-	bestRejQ2 := -1.0         // best q̃² among rejected/evicted candidates
-	lo, hi := i-excl, i+excl  // exclusion interval (exclusive bounds)
-	for j := 0; j < s; j++ {
-		if j > lo && j < hi {
-			continue // trivial at this and every longer length
-		}
-		qtj := row[j]
-		q := (qtj - means[j]*sumA) * invs[j] // q̃ (0 for degenerate candidate)
-		q2 := q * q
-		if len(a.Entries) < p {
-			a.Entries = append(a.Entries, lb.Entry{J: int32(j), QT: qtj, QTilde: q})
-			if len(a.Entries) == p {
-				lb.Heapify(a.Entries)
-				q0 := a.Entries[0].QTilde
-				heapMinQ2 = q0 * q0
-			}
-		} else if q2 > heapMinQ2 {
-			if heapMinQ2 > bestRejQ2 {
-				bestRejQ2 = heapMinQ2 // evicted root joins the unkept set
-			}
-			a.Entries[0] = lb.Entry{J: int32(j), QT: qtj, QTilde: q}
-			lb.SiftDown(a.Entries, 0)
-			q0 := a.Entries[0].QTilde
-			heapMinQ2 = q0 * q0
-		} else if q2 > bestRejQ2 {
-			bestRejQ2 = q2
-		}
-		// Division-free correlation compare; invs[j]=0 (degenerate
-		// candidate) yields corr 0 ⇒ distance √(2l), the convention.
-		corr := (qtj/fl - muA*means[j]) * invA * invs[j]
-		if corr > bestCorr {
-			bestCorr, bestJ = corr, j
-		}
-	}
+	e1, j2 := exclSplit(i, excl, s)
+	st := reseedState{heapMinQ2: math.Inf(-1), bestRejQ2: -1}
+	r.reseedRange(a, row, 0, e1, p, sumA, &st)
+	r.reseedRange(a, row, j2, s, p, sumA, &st)
 	if len(a.Entries) > 0 && len(a.Entries) < p {
 		lb.Heapify(a.Entries)
 	}
-	a.NextQ2 = bestRejQ2
+	a.NextQ2 = st.bestRejQ2
+
+	bestCorr, bestJ := kernels.ArgmaxCorr(row, means, invs, e1, j2, s, 1/fl, muA, invA, math.Inf(-1), -1)
 	if bestJ >= 0 {
 		if bestCorr > 1 {
 			bestCorr = 1
@@ -219,38 +191,94 @@ func (r *run) scanRow(i, l, excl, s int, row []float64, mp *profile.MatrixProfil
 	}
 }
 
+// reseedState carries the top-p selection thresholds across the two
+// included j-ranges of one row's reseed.
+type reseedState struct {
+	heapMinQ2 float64 // q̃² of the heap root once the heap is full
+	bestRejQ2 float64 // best q̃² among rejected/evicted candidates
+}
+
+// reseedRange runs the top-p-by-q̃² selection of the partial-profile
+// reseed over the included candidate range [j0, j1) — the same selection
+// the pre-kernel fused loop performed, minus the per-cell exclusion test.
+// The fill phase (heap not yet full) is peeled off the front so the
+// steady-state loop is just compute-q̃²-and-compare with hoisted slice
+// bounds; candidates are visited in the identical ascending order.
+func (r *run) reseedRange(a *anchors.State, row []float64, j0, j1, p int, sumA float64, st *reseedState) {
+	if j1 <= j0 {
+		return
+	}
+	means, invs := r.means, r.invStds
+	j := j0
+	for ; j < j1 && len(a.Entries) < p; j++ {
+		qtj := row[j]
+		q := (qtj - means[j]*sumA) * invs[j] // q̃ (0 for degenerate candidate)
+		a.Entries = append(a.Entries, lb.Entry{J: int32(j), QT: qtj, QTilde: q})
+	}
+	if len(a.Entries) < p {
+		return // range exhausted while filling; heapMinQ2 stays unset
+	}
+	if math.IsInf(st.heapMinQ2, -1) {
+		// The p-th entry was just appended: order the heap once.
+		lb.Heapify(a.Entries)
+		q0 := a.Entries[0].QTilde
+		st.heapMinQ2 = q0 * q0
+	}
+	rr := row[j:j1]
+	mm := means[j:j1]
+	mm = mm[:len(rr)]
+	vv := invs[j:j1]
+	vv = vv[:len(rr)]
+	heapMin, bestRej := st.heapMinQ2, st.bestRejQ2
+	for x := 0; x < len(rr); x++ {
+		qtj := rr[x]
+		q := (qtj - mm[x]*sumA) * vv[x]
+		q2 := q * q
+		if q2 > heapMin {
+			if heapMin > bestRej {
+				bestRej = heapMin // evicted root joins the unkept set
+			}
+			a.Entries[0] = lb.Entry{J: int32(j + x), QT: qtj, QTilde: q}
+			lb.SiftDown(a.Entries, 0)
+			q0 := a.Entries[0].QTilde
+			heapMin = q0 * q0
+		} else if q2 > bestRej {
+			bestRej = q2
+		}
+	}
+	st.heapMinQ2, st.bestRejQ2 = heapMin, bestRej
+}
+
+// scanRowDegenerate resolves a σ=0 anchor's row with the convention-aware
+// scalar distance (the correlation kernels cannot express it): the shared
+// fallback of every row-scan path.
+func (r *run) scanRowDegenerate(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
+	fl := float64(l)
+	muA := r.means[i]
+	for j := 0; j < s; j++ {
+		if j > i-excl && j < i+excl {
+			continue
+		}
+		d := series.DistFromDot(row[j], fl, muA, 0, r.means[j], r.stds[j])
+		mp.Update(i, d, j)
+	}
+}
+
 // scanRowProfileOnly is scanRow minus the partial-profile bookkeeping:
-// just the exact nearest neighbor of anchor i from its dot-product row.
-// It must mirror scanRow's arithmetic exactly (same correlation
-// expression, same degenerate fallback) so the two paths produce
-// bit-identical profiles.
+// just the exact nearest neighbor of anchor i from its dot-product row,
+// through the same kernels.ArgmaxCorr — shared arithmetic, bit-identical
+// profiles.
 func (r *run) scanRowProfileOnly(i, l, excl, s int, row []float64, mp *profile.MatrixProfile) {
 	means, invs := r.means, r.invStds
 	fl := float64(l)
 	muA := means[i]
 	invA := invs[i]
 	if invA == 0 {
-		for j := 0; j < s; j++ {
-			if j > i-excl && j < i+excl {
-				continue
-			}
-			d := series.DistFromDot(row[j], fl, muA, 0, means[j], r.stds[j])
-			mp.Update(i, d, j)
-		}
+		r.scanRowDegenerate(i, l, excl, s, row, mp)
 		return
 	}
-	bestCorr := math.Inf(-1)
-	bestJ := -1
-	lo, hi := i-excl, i+excl
-	for j := 0; j < s; j++ {
-		if j > lo && j < hi {
-			continue
-		}
-		corr := (row[j]/fl - muA*means[j]) * invA * invs[j]
-		if corr > bestCorr {
-			bestCorr, bestJ = corr, j
-		}
-	}
+	e1, j2 := exclSplit(i, excl, s)
+	bestCorr, bestJ := kernels.ArgmaxCorr(row, means, invs, e1, j2, s, 1/fl, muA, invA, math.Inf(-1), -1)
 	if bestJ >= 0 {
 		if bestCorr > 1 {
 			bestCorr = 1

@@ -37,7 +37,10 @@ const (
 // goroutine. A delivered Profile is never mutated by the engine
 // afterwards, so a sink may retain it — but that holds O(s) memory per
 // length; sinks that only need a reduction should extract it during
-// Consume and let the profile go.
+// Consume and let the profile go. Result.Pairs, in contrast, is backed by
+// engine-owned scratch recycled at the next length (the zero-alloc steady
+// state): it is valid only during Consume, and a sink that retains pairs
+// must copy them (as the built-in pairs sink does).
 type LengthData struct {
 	// L is the completed subsequence length.
 	L int
@@ -146,7 +149,9 @@ func (s *pairsSink) Consume(ld LengthData) {
 	if s.mpMin == nil {
 		s.mpMin = ld.Profile // first delivery is ℓmin; its profile is always present
 	}
-	s.perLength = append(s.perLength, ld.Result)
+	lr := ld.Result
+	lr.Pairs = append([]profile.MotifPair(nil), lr.Pairs...) // engine scratch → owned copy
+	s.perLength = append(s.perLength, lr)
 }
 
 // valmapSink folds each length's pairs into the VALMAP meta structure:

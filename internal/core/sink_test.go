@@ -243,5 +243,9 @@ func TestRunSinksCustomSink(t *testing.T) {
 
 type collectSink struct{ out *[]LengthData }
 
-func (*collectSink) Requires() Requirement   { return TopKPairs }
-func (c *collectSink) Consume(ld LengthData) { *c.out = append(*c.out, ld) }
+func (*collectSink) Requires() Requirement { return TopKPairs }
+func (c *collectSink) Consume(ld LengthData) {
+	// Result.Pairs is engine scratch, valid only during Consume: copy.
+	ld.Result.Pairs = append([]profile.MotifPair(nil), ld.Result.Pairs...)
+	*c.out = append(*c.out, ld)
+}

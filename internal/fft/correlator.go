@@ -101,11 +101,11 @@ func (c *Correlator) Dots(q []float64, dst []float64) []float64 {
 		return nil
 	}
 	x := c.x
-	for i := range x {
-		x[i] = 0
-	}
 	for i, v := range q {
-		x[m-1-i] = complex(v, 0)
+		x[m-1-i] = complex(v, 0) // fills x[0:m]
+	}
+	for i := m; i < len(x); i++ {
+		x[i] = 0
 	}
 	radix2(x, false)
 	for i := range x {
@@ -139,11 +139,11 @@ func (c *Correlator) DotsPair(q1, q2 []float64, dst1, dst2 []float64) ([]float64
 		return nil, nil
 	}
 	x := c.x
-	for i := range x {
-		x[i] = 0
-	}
 	for i := 0; i < m; i++ {
-		x[m-1-i] = complex(q1[i], q2[i])
+		x[m-1-i] = complex(q1[i], q2[i]) // fills x[0:m]
+	}
+	for i := m; i < len(x); i++ {
+		x[i] = 0
 	}
 	radix2(x, false)
 	for i := range x {

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/bits"
 	"math/cmplx"
+	"sync"
 )
 
 // IsPowerOfTwo reports whether n is a positive power of two.
@@ -73,27 +74,57 @@ func Inverse(x []complex128) []complex128 {
 	return x
 }
 
+// twiddleCache holds one forward twiddle table per transform size. The
+// tables are immutable once built and shared by every transform of that
+// size, so repeated correlator queries pay sin/cos exactly once.
+var twiddleCache sync.Map // int -> []complex128 (n/2 forward twiddles)
+
+// twiddleTable returns the forward twiddles w_k = e^(−2πik/n), k < n/2.
+// Direct evaluation per entry is also more accurate than the running
+// product the butterfly loop previously accumulated.
+func twiddleTable(n int) []complex128 {
+	if v, ok := twiddleCache.Load(n); ok {
+		return v.([]complex128)
+	}
+	tw := make([]complex128, n/2)
+	for k := range tw {
+		tw[k] = cmplx.Rect(1, -2*math.Pi*float64(k)/float64(n))
+	}
+	v, _ := twiddleCache.LoadOrStore(n, tw)
+	return v.([]complex128)
+}
+
 // radix2 runs the iterative Cooley–Tukey decimation-in-time FFT.
 // len(x) must be a power of two. When inverse is true the conjugate
 // twiddles are used (normalization is the caller's responsibility).
+// Twiddles come from the cached table (stage size s uses every (n/s)-th
+// entry), which removes the serial w·=wStep recurrence from the butterfly
+// loop — the former chain both bounded ILP and drifted in precision.
 func radix2(x []complex128, inverse bool) {
 	n := len(x)
 	bitReverse(x)
+	tw := twiddleTable(n)
 	for size := 2; size <= n; size <<= 1 {
 		half := size >> 1
-		ang := 2 * math.Pi / float64(size)
-		if !inverse {
-			ang = -ang
-		}
-		wStep := cmplx.Rect(1, ang)
+		stride := n / size
 		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				even := x[start+k]
-				odd := x[start+k+half] * w
-				x[start+k] = even + odd
-				x[start+k+half] = even - odd
-				w *= wStep
+			blk := x[start : start+size]
+			if inverse {
+				for k := 0; k < half; k++ {
+					w := tw[k*stride]
+					w = complex(real(w), -imag(w))
+					even := blk[k]
+					odd := blk[k+half] * w
+					blk[k] = even + odd
+					blk[k+half] = even - odd
+				}
+			} else {
+				for k := 0; k < half; k++ {
+					even := blk[k]
+					odd := blk[k+half] * tw[k*stride]
+					blk[k] = even + odd
+					blk[k+half] = even - odd
+				}
 			}
 		}
 	}

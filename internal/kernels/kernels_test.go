@@ -1,0 +1,308 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+// testSeries builds an adversarial series: a random walk with two planted
+// constant segments (σ = 0 windows at any length shorter than the
+// segments) and a repeated motif, exercising degenerate moments and exact
+// correlation ties.
+func testSeries(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]float64, n)
+	v := 0.0
+	for i := range t {
+		v += rng.NormFloat64()
+		t[i] = v
+	}
+	// Constant segments: one interior, one flush against the series end.
+	for i := n / 3; i < n/3+n/8 && i < n; i++ {
+		t[i] = 7.5
+	}
+	for i := n - n/10; i < n; i++ {
+		t[i] = -2.25
+	}
+	// A planted exact repeat (correlation ties for the argmax paths).
+	copy(t[n/2:n/2+n/12], t[n/6:n/6+n/12])
+	return t
+}
+
+// moments returns sliding means and inverse stds (0 on degenerate
+// windows) at length l — the exact arrays the engine hands the kernels.
+func moments(t []float64, l int) (means, invs []float64) {
+	m, sd := series.SlidingMeanStd(t, l)
+	invs = make([]float64, len(sd))
+	for i, v := range sd {
+		if v > 0 {
+			invs[i] = 1 / v
+		}
+	}
+	return m, invs
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestKernelParityRowNext(t *testing.T) {
+	for _, n := range []int{64, 257, 1000} {
+		ts := testSeries(n, 1)
+		for _, l := range []int{4, 7, 32} {
+			s := n - l + 1
+			row0 := make([]float64, s)
+			for j := range row0 {
+				row0[j] = series.Dot(ts[0:l], ts[j:j+l])
+			}
+			got := append([]float64(nil), row0...)
+			want := append([]float64(nil), row0...)
+			// Stream several rows so errors compound if the recurrence drifts.
+			for i := 1; i < 6 && i < s; i++ {
+				RowNext(got, ts, i, l, s)
+				got[0] = series.Dot(ts[i:i+l], ts[0:l])
+				RefRowNext(want, ts, i, l, s)
+				want[0] = series.Dot(ts[i:i+l], ts[0:l])
+				if !bitsEqual(got, want) {
+					t.Fatalf("n=%d l=%d row %d: RowNext diverges from reference", n, l, i)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelParityArgmaxCorr(t *testing.T) {
+	const n, l = 700, 23
+	ts := testSeries(n, 2)
+	s := n - l + 1
+	means, invs := moments(ts, l)
+	invFl := 1 / float64(l)
+	excl := (l + 3) / 4
+	for _, i := range []int{0, 1, excl - 1, excl, s / 2, s - excl, s - 1} {
+		if i < 0 || i >= s {
+			continue
+		}
+		row := make([]float64, s)
+		for j := range row {
+			row[j] = series.Dot(ts[i:i+l], ts[j:j+l])
+		}
+		muA, invA := means[i], invs[i]
+		if invA == 0 {
+			invA = 1 // exercise the candidate-side zeros regardless
+		}
+		// The engine's split: included j ≤ i−excl or j ≥ i+excl, both
+		// clipped at the series edges.
+		e1, j2 := i-excl+1, i+excl
+		gc, gj := ArgmaxCorr(row, means, invs, e1, j2, s, invFl, muA, invA, math.Inf(-1), -1)
+		wc, wj := RefArgmaxCorr(row, means, invs, e1, j2, s, invFl, muA, invA, math.Inf(-1), -1)
+		if math.Float64bits(gc) != math.Float64bits(wc) || gj != wj {
+			t.Fatalf("i=%d: ArgmaxCorr (%v,%d) != reference (%v,%d)", i, gc, gj, wc, wj)
+		}
+	}
+	// Whole-row scan (no exclusion split): e1 = s, j2 = s.
+	row := make([]float64, s)
+	for j := range row {
+		row[j] = series.Dot(ts[0:l], ts[j:j+l])
+	}
+	gc, gj := ArgmaxCorr(row, means, invs, s, s, s, invFl, means[0], invs[0], math.Inf(-1), -1)
+	wc, wj := RefArgmaxCorr(row, means, invs, s, s, s, invFl, means[0], invs[0], math.Inf(-1), -1)
+	if math.Float64bits(gc) != math.Float64bits(wc) || gj != wj {
+		t.Fatalf("full row: ArgmaxCorr (%v,%d) != reference (%v,%d)", gc, gj, wc, wj)
+	}
+}
+
+func TestKernelParityExtendRow(t *testing.T) {
+	const n = 512
+	ts := testSeries(n, 3)
+	for _, tc := range []struct{ i, cur, l int }{
+		{0, 8, 9},     // single step, anchor 0 (the head-row case)
+		{0, 8, 20},    // multi-step head extension
+		{5, 16, 17},   // single step, interior anchor (hot-row case)
+		{5, 16, 31},   // multi-step hot row across a planner gap
+		{2, 500, 510}, // partial region dominates (cells falling off the end)
+		{3, 12, 12},   // no-op (cur == l)
+	} {
+		row0 := make([]float64, n-tc.cur+1)
+		for j := range row0 {
+			end := j + tc.cur
+			row0[j] = series.Dot(ts[tc.i:tc.i+tc.cur], ts[j:end])
+		}
+		got := append([]float64(nil), row0...)
+		want := append([]float64(nil), row0...)
+		ExtendRow(got, ts, tc.i, tc.cur, tc.l)
+		RefExtendRow(want, ts, tc.i, tc.cur, tc.l)
+		if !bitsEqual(got, want) {
+			t.Fatalf("i=%d cur=%d l=%d: ExtendRow diverges from reference", tc.i, tc.cur, tc.l)
+		}
+	}
+}
+
+func TestKernelParityAdvanceDot(t *testing.T) {
+	const n = 300
+	ts := testSeries(n, 4)
+	for _, tc := range []struct{ i, j, p0, p1 int }{
+		{0, 50, 10, 11},
+		{3, 200, 16, 40},
+		{7, 9, 0, 99},
+		{5, 5, 20, 20}, // empty range
+		{5, 5, 21, 20}, // inverted range (post-catch-up no-op)
+	} {
+		got := AdvanceDot(1.25, ts, tc.i, tc.j, tc.p0, tc.p1)
+		want := RefAdvanceDot(1.25, ts, tc.i, tc.j, tc.p0, tc.p1)
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("%+v: AdvanceDot %v != reference %v", tc, got, want)
+		}
+	}
+}
+
+func TestKernelParityDiagScan(t *testing.T) {
+	for _, n := range []int{120, 493, 1000} {
+		ts := testSeries(n, 5)
+		for _, l := range []int{8, 21} {
+			s := n - l + 1
+			means, invs := moments(ts, l)
+			head := make([]float64, s)
+			for k := range head {
+				head[k] = series.Dot(ts[0:l], ts[k:k+l])
+			}
+			excl := (l + 3) / 4
+			// Block splits exercising the quad path, its tails, and
+			// remainders of 1..3 diagonals.
+			splits := [][2]int{{excl, s}, {excl, excl + 1}, {excl, excl + 5}, {s - 3, s}, {s - 1, s}}
+			for _, sp := range splits {
+				k0, k1 := sp[0], sp[1]
+				if k0 < excl || k1 > s || k0 >= k1 {
+					continue
+				}
+				gc := make([]float64, s)
+				gi := make([]int32, s)
+				wc := make([]float64, s)
+				wi := make([]int32, s)
+				for i := 0; i < s; i++ {
+					gc[i], wc[i] = math.Inf(-1), math.Inf(-1)
+					gi[i], wi[i] = -1, -1
+				}
+				DiagScan(ts, head, means, invs, k0, k1, l, s, gc, gi)
+				RefDiagScan(ts, head, means, invs, k0, k1, l, s, wc, wi)
+				if !bitsEqual(gc, wc) {
+					t.Fatalf("n=%d l=%d k=[%d,%d): DiagScan corr diverges", n, l, k0, k1)
+				}
+				for i := range gi {
+					if gi[i] != wi[i] {
+						t.Fatalf("n=%d l=%d k=[%d,%d): DiagScan idx[%d]=%d != %d", n, l, k0, k1, i, gi[i], wi[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func benchSetup(n, l int) (ts, head, means, invs []float64, s int) {
+	ts = testSeries(n, 9)
+	s = n - l + 1
+	means, invs = moments(ts, l)
+	head = make([]float64, s)
+	for k := range head {
+		head[k] = series.Dot(ts[0:l], ts[k:k+l])
+	}
+	return
+}
+
+func BenchmarkDiagScan(b *testing.B) {
+	ts, head, means, invs, s := benchSetup(4096, 64)
+	excl := 16
+	corr := make([]float64, s)
+	idx := make([]int32, s)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * (s - excl) * (s - excl) / 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < s; j++ {
+			corr[j] = math.Inf(-1)
+			idx[j] = -1
+		}
+		DiagScan(ts, head, means, invs, excl, s, 64, s, corr, idx)
+	}
+}
+
+func BenchmarkRefDiagScan(b *testing.B) {
+	ts, head, means, invs, s := benchSetup(4096, 64)
+	excl := 16
+	corr := make([]float64, s)
+	idx := make([]int32, s)
+	b.ReportAllocs()
+	b.SetBytes(int64(8 * (s - excl) * (s - excl) / 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < s; j++ {
+			corr[j] = math.Inf(-1)
+			idx[j] = -1
+		}
+		RefDiagScan(ts, head, means, invs, excl, s, 64, s, corr, idx)
+	}
+}
+
+func BenchmarkArgmaxCorr(b *testing.B) {
+	ts, _, means, invs, s := benchSetup(8192, 64)
+	row := make([]float64, s)
+	for j := range row {
+		row[j] = series.Dot(ts[0:l64], ts[j:j+l64])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkCorr, sinkJ = ArgmaxCorr(row, means, invs, 100, 132, s, 1.0/64, means[0], invs[0], math.Inf(-1), -1)
+	}
+}
+
+func BenchmarkRefArgmaxCorr(b *testing.B) {
+	ts, _, means, invs, s := benchSetup(8192, 64)
+	row := make([]float64, s)
+	for j := range row {
+		row[j] = series.Dot(ts[0:l64], ts[j:j+l64])
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkCorr, sinkJ = RefArgmaxCorr(row, means, invs, 100, 132, s, 1.0/64, means[0], invs[0], math.Inf(-1), -1)
+	}
+}
+
+const l64 = 64
+
+var (
+	sinkCorr float64
+	sinkJ    int
+)
+
+func BenchmarkExtendRowOneStep(b *testing.B) {
+	ts, head, _, _, _ := benchSetup(8192, 64)
+	row := append([]float64(nil), head...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExtendRow(row, ts, 0, 64, 65)
+		ExtendRow(row, ts, 0, 64, 65) // keep the row hot; values drift, timing doesn't
+	}
+}
+
+func BenchmarkRowNext(b *testing.B) {
+	ts, head, _, _, s := benchSetup(8192, 64)
+	row := append([]float64(nil), head...)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RowNext(row, ts, 1+(i&7), 64, s)
+	}
+}

@@ -1,0 +1,81 @@
+package kernels
+
+// This file retains the naive reference implementation of every kernel:
+// the defining scalar loop, with the per-cell exclusion/boundary branches
+// spelled out and no unrolling or interleaving. TestKernelParity asserts
+// each optimized routine is bit-identical to its reference on adversarial
+// inputs (σ=0 degenerate windows, exclusion zones clipped at the series
+// edges, lengths that exercise every unroll remainder). The references are
+// compiled into tests only in practice, but live in the package proper so
+// ablation benchmarks can measure the optimized/naive gap directly.
+
+// RefRowNext is RowNext as the plain descending loop.
+func RefRowNext(row, t []float64, i, l, s int) {
+	tail := t[i+l-1]
+	head := t[i-1]
+	for j := s - 1; j >= 1; j-- {
+		row[j] = row[j-1] + tail*t[j+l-1] - head*t[j-1]
+	}
+}
+
+// RefArgmaxCorr is ArgmaxCorr as the one-range loop with the per-cell
+// exclusion test: j ∈ [0, s) skipping e1 ≤ j < j2.
+func RefArgmaxCorr(row, means, invs []float64, e1, j2, s int, invFl, muA, invA float64, bestCorr float64, bestJ int) (float64, int) {
+	for j := 0; j < s; j++ {
+		if j >= e1 && j < j2 {
+			continue
+		}
+		c := (row[j]*invFl - muA*means[j]) * invA * invs[j]
+		if c > bestCorr {
+			bestCorr, bestJ = c, j
+		}
+	}
+	return bestCorr, bestJ
+}
+
+// RefExtendRow is ExtendRow as the one-pass-per-length-step loop nest the
+// fused kernel replaces (each step updates every cell still in range).
+func RefExtendRow(row, t []float64, i, cur, l int) {
+	n := len(t)
+	for ; cur < l; cur++ {
+		tail := t[i+cur]
+		for j := 0; j < n-cur; j++ {
+			row[j] += tail * t[j+cur]
+		}
+	}
+}
+
+// RefAdvanceDot is AdvanceDot as the per-step loop.
+func RefAdvanceDot(qt float64, t []float64, i, j, p0, p1 int) float64 {
+	for p := p0; p < p1; p++ {
+		qt += t[i+p] * t[j+p]
+	}
+	return qt
+}
+
+// RefDiagScan is DiagScan one diagonal at a time — the shape the
+// incremental engine's pass had before the kernels were consolidated.
+func RefDiagScan(t, head, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {
+	invFl := 1 / float64(l)
+	for k := k0; k < k1; k++ {
+		qt := head[k]
+		c := (qt*invFl - means[0]*means[k]) * invs[0] * invs[k]
+		if c > corr[0] || (c == corr[0] && int32(k) < idx[0]) {
+			corr[0], idx[0] = c, int32(k)
+		}
+		if c > corr[k] || (c == corr[k] && 0 < idx[k]) {
+			corr[k], idx[k] = c, 0
+		}
+		for i := 1; i+k < s; i++ {
+			j := i + k
+			qt += t[i+l-1]*t[j+l-1] - t[i-1]*t[j-1]
+			c := (qt*invFl - means[i]*means[j]) * invs[i] * invs[j]
+			if c > corr[i] || (c == corr[i] && int32(j) < idx[i]) {
+				corr[i], idx[i] = c, int32(j)
+			}
+			if c > corr[j] || (c == corr[j] && int32(i) < idx[j]) {
+				corr[j], idx[j] = c, int32(i)
+			}
+		}
+	}
+}

@@ -7,6 +7,7 @@ package profile
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -45,17 +46,27 @@ type MatrixProfile struct {
 
 // New returns a MatrixProfile with n slots initialized to +Inf / -1.
 func New(m, exclusion, n int) *MatrixProfile {
-	mp := &MatrixProfile{
-		M:         m,
-		Exclusion: exclusion,
-		Dist:      make([]float64, n),
-		Index:     make([]int, n),
+	mp := &MatrixProfile{}
+	mp.Reset(m, exclusion, n)
+	return mp
+}
+
+// Reset reinitializes mp in place for (m, exclusion, n), reusing the
+// backing arrays when they are large enough — the zero-alloc path for
+// callers that recycle one scratch profile across lengths.
+func (mp *MatrixProfile) Reset(m, exclusion, n int) {
+	mp.M = m
+	mp.Exclusion = exclusion
+	if cap(mp.Dist) < n {
+		mp.Dist = make([]float64, n)
+		mp.Index = make([]int, n)
 	}
+	mp.Dist = mp.Dist[:n]
+	mp.Index = mp.Index[:n]
 	for i := range mp.Dist {
 		mp.Dist[i] = math.Inf(1)
 		mp.Index[i] = -1
 	}
-	return mp
 }
 
 // Len returns the number of profile entries.
@@ -100,12 +111,30 @@ func (p MotifPair) String() string {
 	return fmt.Sprintf("motif{A=%d B=%d m=%d d=%.4f}", p.A, p.B, p.M, p.Dist)
 }
 
+// TopKScratch is the reusable working memory of TopKPairsInto: the
+// bounded candidate heap, the used-offset list, and the output slice.
+// A zero value is ready to use; one scratch serves any number of calls.
+type TopKScratch struct {
+	cands []pairCand
+	used  []int
+	out   []MotifPair
+}
+
 // TopKPairs extracts the k best non-overlapping motif pairs from the
 // profile. Pairs are emitted in ascending distance order; once a pair is
 // chosen, any candidate whose either endpoint lies within the exclusion zone
 // of an already-chosen endpoint is skipped, the standard de-duplication that
-// stops one deep valley from occupying all k slots.
+// stops one deep valley from occupying all k slots. The returned slice is
+// freshly allocated; hot callers use TopKPairsInto with a retained scratch.
 func (mp *MatrixProfile) TopKPairs(k int) []MotifPair {
+	var sc TopKScratch
+	return mp.TopKPairsInto(k, &sc)
+}
+
+// TopKPairsInto is TopKPairs backed by caller-owned scratch: the returned
+// slice aliases sc and is valid only until the next call with the same
+// scratch — callers that retain results must copy them out.
+func (mp *MatrixProfile) TopKPairsInto(k int, sc *TopKScratch) []MotifPair {
 	if k <= 0 {
 		return nil
 	}
@@ -119,7 +148,7 @@ func (mp *MatrixProfile) TopKPairs(k int) []MotifPair {
 	// full sort.
 	limit := 4*k + 16
 	for {
-		pairs, exhausted := mp.topKPairsLimited(k, limit)
+		pairs, exhausted := mp.topKPairsLimited(k, limit, sc)
 		if len(pairs) >= k || exhausted {
 			return pairs
 		}
@@ -144,9 +173,12 @@ func candLess(a, b pairCand) bool {
 // topKPairsLimited extracts up to k pairs considering only the `limit`
 // best candidates under candLess. exhausted reports that every candidate
 // was considered (the pool never overflowed), making the result final.
-func (mp *MatrixProfile) topKPairsLimited(k, limit int) ([]MotifPair, bool) {
+func (mp *MatrixProfile) topKPairsLimited(k, limit int, sc *TopKScratch) ([]MotifPair, bool) {
 	// Max-heap (root = worst kept) of the `limit` best candidates.
-	cands := make([]pairCand, 0, limit+1)
+	if cap(sc.cands) < limit {
+		sc.cands = make([]pairCand, 0, limit+1)
+	}
+	cands := sc.cands[:0]
 	exhausted := true
 	for i, d := range mp.Dist {
 		if mp.Index[i] < 0 || math.IsInf(d, 1) {
@@ -168,10 +200,18 @@ func (mp *MatrixProfile) topKPairsLimited(k, limit int) ([]MotifPair, bool) {
 			candSiftDown(cands, 0)
 		}
 	}
-	sort.Slice(cands, func(a, b int) bool { return candLess(cands[a], cands[b]) })
+	sc.cands = cands
+	// candLess is a strict total order (offsets are unique), so the
+	// non-stable sort has exactly one possible output.
+	slices.SortFunc(cands, func(a, b pairCand) int {
+		if candLess(a, b) {
+			return -1
+		}
+		return 1
+	})
 
-	var out []MotifPair
-	used := make([]int, 0, 2*k)
+	out := sc.out[:0]
+	used := sc.used[:0]
 	zone := mp.Exclusion
 	tooClose := func(x int) bool {
 		for _, u := range used {
@@ -195,6 +235,7 @@ func (mp *MatrixProfile) topKPairsLimited(k, limit int) ([]MotifPair, bool) {
 		out = append(out, MotifPair{A: a, B: b, M: mp.M, Dist: c.d})
 		used = append(used, a, b)
 	}
+	sc.out, sc.used = out, used
 	return out, exhausted
 }
 

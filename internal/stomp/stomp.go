@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/kernels"
 	"github.com/seriesmining/valmod/internal/profile"
 	"github.com/seriesmining/valmod/internal/series"
 )
@@ -60,10 +61,13 @@ func DiagonalHead(t []float64, m int) ([]float64, error) {
 // ExtendDiagonalHead is the *extend path*: it advances a diagonal head row
 // from length cur to length next with the cross-length recurrence
 // QT(0,k)ₗ₊₁ = QT(0,k)ₗ + t[ℓ]·t[k+ℓ] — one fused multiply-add per cell
-// per length step, no FFT. It returns the head trimmed to the diagonals
-// that still exist at the new length (n−next+1 cells). This is what lets a
-// length-range scan seed its FFT exactly once: VALMOD's incremental
-// cross-length engine carries one head row through the whole range.
+// per length step, no FFT. All pending steps are carried through each cell
+// in one pass (kernels.ExtendRow with anchor 0), bit-identical to the
+// one-pass-per-step loop it replaces. It returns the head trimmed to the
+// diagonals that still exist at the new length (n−next+1 cells). This is
+// what lets a length-range scan seed its FFT exactly once: VALMOD's
+// incremental cross-length engine carries one head row through the whole
+// range.
 func ExtendDiagonalHead(head, t []float64, cur, next int) ([]float64, error) {
 	if err := validate(len(t), cur); err != nil {
 		return nil, err
@@ -75,14 +79,7 @@ func ExtendDiagonalHead(head, t []float64, cur, next int) ([]float64, error) {
 		return nil, fmt.Errorf("%w: extend from m=%d (head %d cells) to m=%d", ErrBadLength, cur, len(head), next)
 	}
 	n := len(t)
-	for ; cur < next; cur++ {
-		head = head[:n-cur] // diagonals still valid at length cur+1
-		a := t[cur]
-		tail := t[cur:]
-		for k := range head {
-			head[k] += a * tail[k]
-		}
-	}
+	kernels.ExtendRow(head[:n-cur+1], t, 0, cur, next)
 	return head[:n-next+1], nil
 }
 
