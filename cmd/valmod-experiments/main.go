@@ -46,21 +46,24 @@ import (
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "figure to regenerate: 1left|1right|2|3top|3bottom|all")
-		n       = flag.Int("n", 10000, "series length for Figure 3 (top)")
-		lmin    = flag.Int("lmin", 64, "minimum subsequence length for Figure 3")
-		timeout = flag.Duration("timeout", 60*time.Second, "per-run budget for Figure 3 (paper: 24h)")
-		seed    = flag.Int64("seed", 1, "dataset seed")
-		sizes   = flag.String("sizes", "5000,10000,20000,30000,50000", "series sizes for Figure 3 (bottom)")
-		ranges  = flag.String("ranges", "10,20,50,100,200", "length ranges for Figure 3 (top)")
-		workers = flag.Int("workers", 1, "goroutines for VALMOD's data-parallel phases in Figure 3 (default 1: the competitors are single-threaded, matching the paper's C implementations; output is identical at any setting)")
-		bench   = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
-		benchN  = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
-		out     = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
-		parity  = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series and exit non-zero if they disagree on the best pair — the CI smoke check")
-		large   = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4) to the -bench-json suite")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this file (pprof format)")
-		memProf = flag.String("memprofile", "", "write a heap profile (after the workload) to this file (pprof format)")
+		fig         = flag.String("fig", "all", "figure to regenerate: 1left|1right|2|3top|3bottom|all")
+		n           = flag.Int("n", 10000, "series length for Figure 3 (top)")
+		lmin        = flag.Int("lmin", 64, "minimum subsequence length for Figure 3")
+		timeout     = flag.Duration("timeout", 60*time.Second, "per-run budget for Figure 3 (paper: 24h)")
+		seed        = flag.Int64("seed", 1, "dataset seed")
+		sizes       = flag.String("sizes", "5000,10000,20000,30000,50000", "series sizes for Figure 3 (bottom)")
+		ranges      = flag.String("ranges", "10,20,50,100,200", "length ranges for Figure 3 (top)")
+		workers     = flag.Int("workers", 1, "goroutines for VALMOD's data-parallel phases in Figure 3 (default 1: the competitors are single-threaded, matching the paper's C implementations; output is identical at any setting)")
+		bench       = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
+		benchN      = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
+		out         = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
+		parity      = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series and exit non-zero if they disagree on the best pair — the CI smoke check")
+		large       = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4) to the -bench-json suite")
+		benchStream = flag.Bool("bench-stream", false, "run the streaming-append throughput suite (ecg fed in -stream-chunk point chunks, capped and uncapped) and emit machine-readable JSON")
+		streamN     = flag.Int("stream-n", 50000, "total points fed through the stream for -bench-stream")
+		streamChunk = flag.Int("stream-chunk", 1000, "chunk size for -bench-stream")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this file (pprof format)")
+		memProf     = flag.String("memprofile", "", "write a heap profile (after the workload) to this file (pprof format)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -90,10 +93,16 @@ func main() {
 			}
 		}()
 	}
-	if *bench || *parity {
+	if *bench || *parity || *benchStream {
 		if *bench {
 			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large); err != nil {
 				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if *benchStream {
+			if err := runBenchStream(*out, *streamN, *streamChunk, *lmin, *seed, *workers); err != nil {
+				fmt.Fprintln(os.Stderr, "valmod-experiments: bench-stream:", err)
 				os.Exit(1)
 			}
 		}
@@ -279,6 +288,156 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bo
 				return err
 			}
 		}
+	}
+	w := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// streamBenchCase is one timed streaming feed of the -bench-stream suite.
+// EarlyChunkSecs/LateChunkSecs are the mean per-chunk append times near the
+// start (after the sliding window has filled, for capped cases) and at the
+// end of the feed: their ratio is the scaling witness. A capped stream must
+// hold it near 1 — per-chunk cost O(chunk·lengths·cap), independent of how
+// many points ever streamed — while the uncapped contrast case shows the
+// expected linear growth of O(chunk·lengths·n) as the retained series
+// grows. The anchors pin the final snapshot so a speedup that changed
+// results shows in the diff.
+type streamBenchCase struct {
+	Name           string  `json:"name"`
+	Dataset        string  `json:"dataset"`
+	NTotal         int     `json:"n_total"`
+	Chunk          int     `json:"chunk"`
+	WindowCap      int     `json:"window_cap,omitempty"`
+	LMin           int     `json:"lmin"`
+	LMax           int     `json:"lmax"`
+	Workers        int     `json:"workers"`
+	Seconds        float64 `json:"seconds"`
+	PointsPerSec   float64 `json:"points_per_sec"`
+	EarlyChunkSecs float64 `json:"early_chunk_secs"`
+	LateChunkSecs  float64 `json:"late_chunk_secs"`
+	LateOverEarly  float64 `json:"late_over_early"`
+	BestNormDist   float64 `json:"best_norm_dist"`
+	BestA          int     `json:"best_a"`
+	BestB          int     `json:"best_b"`
+	BestLength     int     `json:"best_length"`
+}
+
+// runBenchStream times Stream.Append throughput on the ECG generator: the
+// headline sliding-window case (the live-monitoring deployment shape) fed
+// nTotal points in fixed chunks, plus a shorter uncapped contrast case.
+// Timings cover appends only; one snapshot at the end provides the result
+// anchors.
+func runBenchStream(outPath string, nTotal, chunk, lmin int, seed int64, workers int) error {
+	const rangeLen = 20
+	if chunk <= 0 || nTotal < chunk {
+		return fmt.Errorf("need n_total >= chunk > 0, got %d/%d", nTotal, chunk)
+	}
+	rep := struct {
+		GoVersion string            `json:"go_version"`
+		GOOS      string            `json:"goos"`
+		GOARCH    string            `json:"goarch"`
+		NumCPU    int               `json:"num_cpu"`
+		Seed      int64             `json:"seed"`
+		Cases     []streamBenchCase `json:"cases"`
+	}{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seed:      seed,
+	}
+	runCase := func(name string, n, chunk, cap int) error {
+		s, err := gen.Dataset("ecg", n, seed)
+		if err != nil {
+			return err
+		}
+		lmax := lmin + rangeLen - 1
+		st, err := valmod.NewStream(lmin, lmax, valmod.Options{TopK: 1, Workers: workers, WindowCap: cap})
+		if err != nil {
+			return err
+		}
+		var chunkSecs []float64
+		start := time.Now()
+		for pos := 0; pos < n; pos += chunk {
+			end := pos + chunk
+			if end > n {
+				end = n
+			}
+			c0 := time.Now()
+			if err := st.Append(s.Values[pos:end]); err != nil {
+				return err
+			}
+			chunkSecs = append(chunkSecs, time.Since(c0).Seconds())
+		}
+		elapsed := time.Since(start).Seconds()
+		// Compare a window of chunks just after steady state begins (for a
+		// capped stream: once the window has filled and evictions run every
+		// chunk) against the final chunks of the feed.
+		warm := 1
+		if cap > 0 {
+			warm = (cap + chunk - 1) / chunk
+		}
+		const span = 10
+		if warm+2*span > len(chunkSecs) {
+			warm = 1 // short feeds: fall back to "after the first chunk"
+		}
+		mean := func(xs []float64) float64 {
+			sum := 0.0
+			for _, v := range xs {
+				sum += v
+			}
+			return sum / float64(len(xs))
+		}
+		early := mean(chunkSecs[warm:min(warm+span, len(chunkSecs))])
+		late := mean(chunkSecs[max(len(chunkSecs)-span, 0):])
+		res, err := st.Snapshot()
+		if err != nil {
+			return err
+		}
+		bc := streamBenchCase{
+			Name: name, Dataset: "ecg", NTotal: n, Chunk: chunk, WindowCap: cap,
+			LMin: lmin, LMax: lmax, Workers: workers,
+			Seconds: elapsed, PointsPerSec: float64(n) / elapsed,
+			EarlyChunkSecs: early, LateChunkSecs: late, LateOverEarly: late / early,
+		}
+		if best, ok := res.BestOverall(); ok {
+			bc.BestNormDist = best.NormDistance
+			bc.BestA, bc.BestB, bc.BestLength = best.A, best.B, best.Length
+		}
+		rep.Cases = append(rep.Cases, bc)
+		return nil
+	}
+	cap := 4096
+	if cap < lmin+rangeLen-1 {
+		cap = lmin + rangeLen - 1
+	}
+	if err := runCase("ecg/stream@cap4096", nTotal, chunk, cap); err != nil {
+		return err
+	}
+	// The uncapped contrast runs a fifth of the feed in smaller chunks
+	// (enough of them that the early and late measurement windows don't
+	// overlap): its per-chunk cost grows linearly with the retained
+	// length, which is exactly what the case exists to demonstrate.
+	un := nTotal / 5
+	if un < 2*chunk {
+		un = 2 * chunk
+	}
+	unChunk := un / 25
+	if unChunk < 1 {
+		unChunk = 1
+	}
+	if err := runCase("ecg/stream/uncapped", un, unChunk, 0); err != nil {
+		return err
 	}
 	w := os.Stdout
 	if outPath != "" {

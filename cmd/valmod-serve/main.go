@@ -1,9 +1,11 @@
 // Command valmod-serve exposes the suite as an HTTP service: clients
 // submit variable-length motif-discovery jobs, stream per-length progress
 // over SSE, cancel jobs, and share an LRU result cache so repeated queries
-// on the same series cost nothing. It is the multi-user transport over the
-// job manager in internal/service; the API is specified in docs/api.md and
-// the concurrency model in ARCHITECTURE.md.
+// on the same series cost nothing. Stream jobs (kind "stream") discover
+// live over a growing series: POST /v1/jobs/{id}/append feeds chunks and
+// the SSE channel emits motif/discord change events. It is the multi-user
+// transport over the job manager in internal/service; the API is
+// specified in docs/api.md and the concurrency model in ARCHITECTURE.md.
 //
 // Usage:
 //

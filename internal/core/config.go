@@ -94,6 +94,15 @@ type Config struct {
 	// within floating tolerance; per-length resolution stats report
 	// full — incremental — recomputes).
 	Discords int
+	// WindowCap, when positive, puts the streaming engine (Streamer) in
+	// sliding-window mode: after every Append the retained series is
+	// trimmed to exactly the trailing WindowCap points, evicted offsets
+	// are dropped and surviving profile entries whose nearest neighbor
+	// was evicted are repaired exactly over the remaining window — so
+	// results are always a pure function of the last min(n, WindowCap)
+	// points, independent of how the stream was chunked. Must be at least
+	// LMax (every length needs one window). Batch runs ignore it.
+	WindowCap int
 	// Workers bounds the goroutines used by the data-parallel phases: the
 	// ℓmin seed, full-recompute fallbacks, and the per-length
 	// advance→certify pass over anchor shards. 0 selects GOMAXPROCS;

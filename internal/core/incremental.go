@@ -225,13 +225,19 @@ func (r *run) processLengthIncremental(l int) (LengthResult, *profile.MatrixProf
 // qualifying degenerate offset — the same index the ascending scalar scan
 // of the recompute path selects.
 func (r *run) fixupDegenerate(mp *profile.MatrixProfile, excl, s int) {
-	degs := r.degs[:0]
-	for i := 0; i < s; i++ {
-		if r.invStds[i] == 0 {
+	r.degs = applyDegenerateFixup(mp, r.invStds[:s], excl, r.degs[:0])
+}
+
+// applyDegenerateFixup is the shared implementation of the constant-window
+// convention, used by both the batch run above and the streaming engine's
+// snapshot materialization (stream.go) so the two can never drift. degs is
+// caller scratch; the (reused) slice is returned.
+func applyDegenerateFixup(mp *profile.MatrixProfile, invs []float64, excl int, degs []int) []int {
+	for i, inv := range invs {
+		if inv == 0 {
 			degs = append(degs, i)
 		}
 	}
-	r.degs = degs
 	for _, i := range degs {
 		for _, j := range degs {
 			if j > i-excl && j < i+excl {
@@ -242,4 +248,5 @@ func (r *run) fixupDegenerate(mp *profile.MatrixProfile, excl, s int) {
 			break // degs ascend, so the first qualifying j is the smallest
 		}
 	}
+	return degs
 }

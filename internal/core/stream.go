@@ -1,0 +1,472 @@
+package core
+
+// The streaming append engine: live variable-length discovery over a
+// growing series. Where the batch engine (engine.go, incremental.go)
+// carries dot-product state across *lengths* of a fixed series, the
+// Streamer carries it across *time*: per length it retains the last
+// column of the self-join (QT(·, j), advanced per appended point with the
+// STOMP right-append recurrence via stomp.AppendColumn — no prefix
+// recompute, ever) plus the persistent per-offset winner accumulators
+// (corr, idx) the batch diagonal pass keeps per worker. One appended
+// point costs, per length ℓ over s windows, one O(ℓ) head dot, one O(s)
+// column advance and one O(s) kernels.ColScan — O(s·lengths) total, never
+// O(n²).
+//
+// Determinism contract (the equivalence harness in stream_test.go and the
+// public TestAppendEqualsBatch pin all three):
+//
+//   - Parallelism is across lengths only. Each length's arithmetic is one
+//     self-contained serial chain (column recurrence in append order,
+//     ColScan candidates in ascending offset order), so output is
+//     bit-identical at every worker count, and — without WindowCap —
+//     bit-identical under any chunking of the same points.
+//   - Against the batch engine the stream is tolerance-equivalent, not
+//     bit-identical: the column recurrence and the batch diagonal
+//     recurrence reach the same dot products along different floating
+//     paths. Winner selection uses the same strict total order (corr
+//     descending, neighbor offset ascending on exact ties) on both sides.
+//   - Sliding-window mode (Config.WindowCap = W) evicts to exactly the
+//     trailing W points after every Append. Survivor entries whose best
+//     neighbor was evicted are repaired *exactly*: one FFT row +
+//     kernels.ArgmaxCorr over the remaining window when such entries are
+//     sparse, or a full replay of the column recurrence over the window
+//     when they are dense (see evict for the cutover); moments are rebuilt
+//     from the retained points, bit-identical to a batch run over that
+//     window. Results are therefore always a pure function of the last
+//     min(n, W) points.
+//
+// Snapshot materializes the accumulators into per-length matrix profiles
+// and routes them through the same sinks as the batch engine (pairsSink,
+// valmapSink, discordSink), so extraction — top-k selection, VALMAP
+// folding, cross-length discord ranking, the degenerate constant-window
+// fixup — is shared code, not a reimplementation.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/seriesmining/valmod/internal/fft"
+	"github.com/seriesmining/valmod/internal/kernels"
+	"github.com/seriesmining/valmod/internal/profile"
+	"github.com/seriesmining/valmod/internal/series"
+	"github.com/seriesmining/valmod/internal/stomp"
+)
+
+// ErrBadValue is returned by Streamer.Append for non-finite points. The
+// offending chunk is rejected whole; the stream state is untouched.
+var ErrBadValue = errors.New("core: non-finite value")
+
+// ErrTooShort is returned by Streamer.Snapshot before the stream has
+// accumulated LMin points (no length has a single window yet).
+var ErrTooShort = errors.New("core: series too short")
+
+// streamLen is the carried state of one subsequence length ℓ. All slices
+// have one cell per window of the retained series (s = n − ℓ + 1); they
+// grow by one per appended point and shift down on eviction.
+type streamLen struct {
+	l     int
+	excl  int
+	invFl float64   // 1/ℓ, computed once (the ONE correlation expression)
+	col   []float64 // QT(i, s−1): last column of the self-join
+	corr  []float64 // best correlation seen per offset (−Inf none)
+	idx   []int32   // that neighbor's offset (−1 none)
+	means []float64 // μ_i at ℓ (bit-identical to the batch momentsAt)
+	invs  []float64 // 1/σ_i, 0 for degenerate windows
+}
+
+// Streamer is the streaming append engine. Not safe for concurrent use;
+// callers serialize Append/Snapshot (the service layer holds one mutex
+// per stream job).
+type Streamer struct {
+	cfg     Config
+	workers int
+	t       []float64 // retained series (trailing WindowCap points when capped)
+	st      *series.Stats
+	total   int // points ever appended, evicted ones included
+	lens    []streamLen
+
+	topk profile.TopKScratch // Snapshot's pair-extraction scratch
+	degs []int               // Snapshot's degenerate-offset scratch
+}
+
+// NewStreamer validates cfg and returns an empty stream. The length range
+// is validated against itself (LMax points suffice for one window of every
+// length); series-size checks happen as the stream grows. WindowCap, when
+// set, must cover at least one window of the longest length.
+func NewStreamer(cfg Config) (*Streamer, error) {
+	cfg.Fill()
+	if err := ValidateRange(cfg.LMax, cfg.LMin, cfg.LMax); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.WindowCap > 0 && cfg.WindowCap < cfg.LMax {
+		return nil, fmt.Errorf("%w: window_cap=%d: must be >= lmax (%d)", ErrBadConfig, cfg.WindowCap, cfg.LMax)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s := &Streamer{cfg: cfg, workers: workers, st: series.NewStats(nil)}
+	for l := cfg.LMin; l <= cfg.LMax; l++ {
+		s.lens = append(s.lens, streamLen{
+			l:     l,
+			excl:  profile.ExclusionZone(l, cfg.ExclusionFactor),
+			invFl: 1 / float64(l),
+		})
+	}
+	return s, nil
+}
+
+// N returns the number of retained points (= total appended, in uncapped
+// mode).
+func (s *Streamer) N() int { return len(s.t) }
+
+// Total returns the number of points ever appended, evicted ones included.
+func (s *Streamer) Total() int { return s.total }
+
+// Start returns the global offset of the first retained point: Snapshot
+// offsets plus Start are offsets into the full appended stream.
+func (s *Streamer) Start() int { return s.total - len(s.t) }
+
+// Series returns the retained points. The slice aliases the stream's
+// storage: it is valid until the next Append, and callers that retain it
+// must copy.
+func (s *Streamer) Series() []float64 { return s.t }
+
+// Append extends the stream by values and advances every length's carried
+// state — O(len(values)·s·lengths) work, independent of how the same
+// points are split into chunks. Non-finite values reject the whole chunk
+// with ErrBadValue before any state changes. In sliding-window mode the
+// retained series is then trimmed to the trailing WindowCap points.
+func (s *Streamer) Append(values []float64) error {
+	for k, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: values[%d]=%v", ErrBadValue, k, v)
+		}
+	}
+	if len(values) == 0 {
+		return nil
+	}
+	n0 := len(s.t)
+	s.t = append(s.t, values...)
+	s.st.Append(values)
+	s.total += len(values)
+
+	err := s.forEachLength(func(_ int, ls *streamLen) error {
+		for p := 0; p < len(values); p++ {
+			np := n0 + p + 1
+			if np < ls.l {
+				continue // this length has no window yet
+			}
+			if err := s.advance(ls, s.t[:np]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if s.cfg.WindowCap > 0 && len(s.t) > s.cfg.WindowCap {
+		return s.evict(len(s.t) - s.cfg.WindowCap)
+	}
+	return nil
+}
+
+// advance moves length ls forward to the newest window of t (a prefix of
+// the retained series): one column advance, one moment append, one
+// ColScan. The new slot's own winner is the running best ColScan returns
+// (candidates ascend, so exact-corr ties keep the smallest offset — the
+// total order).
+func (s *Streamer) advance(ls *streamLen, t []float64) error {
+	var err error
+	ls.col, err = stomp.AppendColumn(ls.col, t, ls.l)
+	if err != nil {
+		return err
+	}
+	j := len(t) - ls.l
+	mu, sd := s.st.MeanStd(j, ls.l)
+	inv := 0.0
+	if sd > 0 {
+		inv = 1 / sd
+	}
+	ls.means = append(ls.means, mu)
+	ls.invs = append(ls.invs, inv)
+	ls.corr = append(ls.corr, math.Inf(-1))
+	ls.idx = append(ls.idx, -1)
+	if iEnd := j - ls.excl + 1; iEnd > 0 {
+		bc, bi := kernels.ColScan(ls.col, ls.means, ls.invs, iEnd,
+			ls.invFl, mu, inv, ls.corr, ls.idx, int32(j), math.Inf(-1), -1)
+		if bi >= 0 {
+			ls.corr[j], ls.idx[j] = bc, bi
+		}
+	}
+	return nil
+}
+
+// evict drops the oldest e points, keeping results a pure function of the
+// retained window. Dot products are shift-invariant, so the carried
+// column and the winner accumulators shift down; moments are rebuilt from
+// the retained points (bit-identical to a batch run over them). A
+// surviving entry whose recorded neighbor was evicted is repaired exactly:
+// one FFT dot-product row over the window, then ArgmaxCorr with the same
+// total order. Entries whose neighbor survived keep their winner — the
+// maximum over a set cannot change when only non-maximal elements leave.
+func (s *Streamer) evict(e int) error {
+	copy(s.t, s.t[e:])
+	s.t = s.t[:len(s.t)-e]
+	s.st = series.NewStats(s.t)
+
+	// One series spectrum serves every repair; each worker clones it so
+	// repairs run concurrently across lengths.
+	corr := fft.NewCorrelator(s.t, s.cfg.LMax)
+	defer corr.Release()
+	workers := s.workers
+	if workers > len(s.lens) {
+		workers = len(s.lens)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	clones := make([]*fft.Correlator, workers)
+	rows := make([][]float64, workers)
+	clones[0] = corr
+	for w := 1; w < workers; w++ {
+		clones[w] = corr.Clone()
+		defer clones[w].Release()
+	}
+
+	return s.forEachLength(func(w int, ls *streamLen) error {
+		sNew := len(s.t) - ls.l + 1
+		// Count survivors whose recorded neighbor was evicted. Each one
+		// costs an FFT row (O(s·log s)), so when they are dense it is
+		// cheaper to replay the column recurrence over the whole retained
+		// window (O(s²) total) — the same code path as streaming the window
+		// into a fresh engine, so the outcome stays a pure function of the
+		// retained points. The cutover is deterministic per eviction (it
+		// depends only on the accumulator state, never on workers), so
+		// worker-count bit-identity is preserved.
+		repairs := 0
+		for i := 0; i < sNew; i++ {
+			if old := ls.idx[i+e]; old >= 0 && int(old) < e {
+				repairs++
+			}
+		}
+		if repairs*32 > sNew {
+			return s.rebuild(ls)
+		}
+		copy(ls.col, ls.col[e:])
+		ls.col = ls.col[:sNew]
+		for i := 0; i < sNew; i++ {
+			mu, sd := s.st.MeanStd(i, ls.l)
+			ls.means[i] = mu
+			if sd > 0 {
+				ls.invs[i] = 1 / sd
+			} else {
+				ls.invs[i] = 0
+			}
+		}
+		ls.means = ls.means[:sNew]
+		ls.invs = ls.invs[:sNew]
+		for i := 0; i < sNew; i++ {
+			old := ls.idx[i+e]
+			switch {
+			case old < 0:
+				ls.corr[i], ls.idx[i] = math.Inf(-1), -1
+			case int(old) >= e:
+				ls.corr[i], ls.idx[i] = ls.corr[i+e], old-int32(e)
+			default:
+				// Neighbor evicted: recompute this offset's exact best over
+				// the window from one dot-product row.
+				if rows[w] == nil {
+					rows[w] = make([]float64, len(s.t))
+				}
+				row := clones[w].Dots(s.t[i:i+ls.l], rows[w])
+				e1 := i - ls.excl + 1
+				if e1 < 0 {
+					e1 = 0
+				}
+				j2 := i + ls.excl
+				if j2 > sNew {
+					j2 = sNew
+				}
+				bc, bj := kernels.ArgmaxCorr(row, ls.means, ls.invs, e1, j2, sNew,
+					ls.invFl, ls.means[i], ls.invs[i], math.Inf(-1), -1)
+				if bj >= 0 {
+					ls.corr[i], ls.idx[i] = bc, int32(bj)
+				} else {
+					ls.corr[i], ls.idx[i] = math.Inf(-1), -1
+				}
+			}
+		}
+		ls.corr = ls.corr[:sNew]
+		ls.idx = ls.idx[:sNew]
+		return nil
+	})
+}
+
+// rebuild discards one length's carried state and replays the column
+// recurrence over the retained series from scratch — bit-identical to
+// feeding the trailing window into a fresh stream. evict switches to it
+// when eviction invalidated so many neighbors that per-slot FFT repairs
+// would cost more than the replay.
+func (s *Streamer) rebuild(ls *streamLen) error {
+	ls.col = ls.col[:0]
+	ls.corr = ls.corr[:0]
+	ls.idx = ls.idx[:0]
+	ls.means = ls.means[:0]
+	ls.invs = ls.invs[:0]
+	for p := ls.l; p <= len(s.t); p++ {
+		if err := s.advance(ls, s.t[:p]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// forEachLength runs fn over every length, claiming lengths from an
+// atomic counter across min(workers, lengths) goroutines. fn receives the
+// worker slot for per-worker scratch. Each length is touched by exactly
+// one worker and the per-length work is identical regardless of which,
+// so worker count never changes output bits.
+func (s *Streamer) forEachLength(fn func(w int, ls *streamLen) error) error {
+	workers := s.workers
+	if workers > len(s.lens) {
+		workers = len(s.lens)
+	}
+	if workers <= 1 {
+		for i := range s.lens {
+			if err := fn(0, &s.lens[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, len(s.lens))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(s.lens) {
+					return
+				}
+				errs[i] = fn(w, &s.lens[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Snapshot materializes the carried state into a full Result over the
+// retained series, covering lengths [LMin, min(LMax, n)]. It is
+// read-only with respect to the stream (Append may continue afterwards)
+// and returns ErrTooShort before the first window exists. Materialized
+// lengths flow through the same sink pipeline as the batch engine, in
+// ascending length order on this goroutine, so pair extraction, VALMAP
+// folding and discord ranking are shared code. Offsets are relative to
+// the retained window; add Start() for stream-global offsets.
+func (s *Streamer) Snapshot() (*Result, error) {
+	n := len(s.t)
+	if n < s.cfg.LMin {
+		return nil, fmt.Errorf("%w: %d points, need %d", ErrTooShort, n, s.cfg.LMin)
+	}
+	cfg := s.cfg
+	if cfg.LMax > n {
+		cfg.LMax = n
+	}
+	pairs := &pairsSink{}
+	vms, err := newValmapSink(cfg.LMin, cfg.LMax, n-cfg.LMin+1)
+	if err != nil {
+		return nil, err
+	}
+	sinks := []Sink{pairs, vms}
+	var ds *discordSink
+	if cfg.Discords > 0 {
+		ds = newDiscordSink(cfg.Discords, cfg.ExclusionFactor)
+		sinks = append(sinks, ds)
+	}
+	mp := profile.New(0, 0, 0) // recycled across lengths; sinks copy what they keep
+	for li := range s.lens {
+		ls := &s.lens[li]
+		if ls.l > cfg.LMax {
+			break
+		}
+		ld := s.materialize(ls, mp)
+		if ld.L == cfg.LMin && ld.Profile == nil {
+			// The VALMAP seeds from the ℓmin profile unconditionally; a
+			// length admitting no non-trivial pair seeds it empty (every
+			// entry +Inf/−1) rather than not at all.
+			mp.Reset(ls.l, ls.excl, n-ls.l+1)
+			ld.Profile = mp
+		}
+		// pairsSink retains the first delivered profile as MPMin; hand the
+		// scratch over and start a fresh one for the remaining lengths.
+		retained := ld.Profile == mp && pairs.mpMin == nil
+		for _, snk := range sinks {
+			if sinkWants(snk, ld.L) {
+				snk.Consume(ld)
+			}
+		}
+		if retained {
+			mp = profile.New(0, 0, 0)
+		}
+	}
+	res := &Result{
+		N:         n,
+		Cfg:       cfg,
+		MPMin:     pairs.mpMin,
+		PerLength: pairs.perLength,
+		VMap:      vms.vm,
+	}
+	if ds != nil {
+		res.Discords = ds.Discords()
+	}
+	return res, nil
+}
+
+// materialize turns one length's accumulators into the LengthData the
+// sinks consume: clamp each winner's correlation to [−1, 1], convert with
+// d = √(2ℓ(1−c)), apply the degenerate constant-window fixup — exactly
+// the batch materialization in processLengthIncremental. Lengths admitting
+// no non-trivial pair (s ≤ excl) deliver a nil profile, matching the
+// batch contract.
+func (s *Streamer) materialize(ls *streamLen, mp *profile.MatrixProfile) LengthData {
+	sl := len(s.t) - ls.l + 1
+	lr := LengthResult{M: ls.l}
+	lr.Stats.FullRecompute = true
+	lr.Stats.Incremental = true
+	if sl <= ls.excl {
+		return LengthData{L: ls.l, Result: lr}
+	}
+	mp.Reset(ls.l, ls.excl, sl)
+	fl := float64(ls.l)
+	for i := 0; i < sl; i++ {
+		if ls.idx[i] < 0 {
+			continue
+		}
+		c := ls.corr[i]
+		if c > 1 {
+			c = 1
+		} else if c < -1 {
+			c = -1
+		}
+		mp.Dist[i] = math.Sqrt(2 * fl * (1 - c))
+		mp.Index[i] = int(ls.idx[i])
+	}
+	s.degs = applyDegenerateFixup(mp, ls.invs, ls.excl, s.degs[:0])
+	lr.Pairs = mp.TopKPairsInto(s.cfg.TopK, &s.topk)
+	return LengthData{L: ls.l, Result: lr, Profile: mp}
+}

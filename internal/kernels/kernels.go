@@ -203,6 +203,82 @@ func AdvanceDot(qt float64, t []float64, i, j, p0, p1 int) float64 {
 	return qt
 }
 
+// ColScan is the streaming right-append pass: window j of length l has
+// just been appended and col[i] = QT(i, j) holds its dot products against
+// every earlier window (the column AppendColumn produced). The scan visits
+// the non-trivial candidates i ∈ [0, iEnd) (iEnd = j − excl + 1 clamped at
+// 0), computes the engine's ONE division-free correlation
+//
+//	c = (col[i]·invFl − means[i]·muJ) · invs[i] · invJ
+//
+// (anchor-side factors first — the same association DiagScan uses for a
+// cell (i, j) with i < j), improves slot i with candidate (c, j) under the
+// strict total order (corr descending, neighbor ascending on exact ties),
+// and returns the running best candidate for slot j itself — seeded by
+// bestCorr/bestIdx (pass −Inf, −1 to start fresh), scanned in ascending i
+// under strict improvement, so exact ties keep the smallest neighbor
+// exactly as the total order demands. A degenerate endpoint (invs or invJ
+// zero) contributes correlation 0, the √(2l)-distance convention.
+func ColScan(col, means, invs []float64, iEnd int, invFl, muJ, invJ float64, corr []float64, idx []int32, j int32, bestCorr float64, bestIdx int32) (float64, int32) {
+	if iEnd <= 0 {
+		return bestCorr, bestIdx
+	}
+	// Hoisted equal-length sub-slices let the compiler drop the per-cell
+	// bounds checks (they panic on violated preconditions, as intended).
+	cl := col[0:iEnd]
+	m := means[0:iEnd]
+	m = m[:len(cl)]
+	v := invs[0:iEnd]
+	v = v[:len(cl)]
+	cr := corr[0:iEnd]
+	cr = cr[:len(cl)]
+	ix := idx[0:iEnd]
+	ix = ix[:len(cl)]
+	i := 0
+	for ; i+4 <= len(cl); i += 4 {
+		c0 := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
+		c1 := (cl[i+1]*invFl - m[i+1]*muJ) * v[i+1] * invJ
+		c2 := (cl[i+2]*invFl - m[i+2]*muJ) * v[i+2] * invJ
+		c3 := (cl[i+3]*invFl - m[i+3]*muJ) * v[i+3] * invJ
+		if c0 > cr[i] || (c0 == cr[i] && j < ix[i]) {
+			cr[i], ix[i] = c0, j
+		}
+		if c1 > cr[i+1] || (c1 == cr[i+1] && j < ix[i+1]) {
+			cr[i+1], ix[i+1] = c1, j
+		}
+		if c2 > cr[i+2] || (c2 == cr[i+2] && j < ix[i+2]) {
+			cr[i+2], ix[i+2] = c2, j
+		}
+		if c3 > cr[i+3] || (c3 == cr[i+3] && j < ix[i+3]) {
+			cr[i+3], ix[i+3] = c3, j
+		}
+		// Sequential compare-updates in ascending i keep the first maximum
+		// (= smallest neighbor on exact ties), matching the total order.
+		if c0 > bestCorr {
+			bestCorr, bestIdx = c0, int32(i)
+		}
+		if c1 > bestCorr {
+			bestCorr, bestIdx = c1, int32(i+1)
+		}
+		if c2 > bestCorr {
+			bestCorr, bestIdx = c2, int32(i+2)
+		}
+		if c3 > bestCorr {
+			bestCorr, bestIdx = c3, int32(i+3)
+		}
+	}
+	for ; i < len(cl); i++ {
+		c := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
+		if c > cr[i] || (c == cr[i] && j < ix[i]) {
+			cr[i], ix[i] = c, j
+		}
+		if c > bestCorr {
+			bestCorr, bestIdx = c, int32(i)
+		}
+	}
+	return bestCorr, bestIdx
+}
+
 // DiagScan streams diagonals [k0, k1) of the length-l self-join: each
 // diagonal starts from its head cell head[k] = QT(0, k), advances with the
 // in-length recurrence QT(i,j) = QT(i−1,j−1) + t[i+l−1]·t[j+l−1] −

@@ -208,6 +208,55 @@ func TestKernelParityDiagScan(t *testing.T) {
 	}
 }
 
+func TestKernelParityColScan(t *testing.T) {
+	for _, n := range []int{90, 301, 743} {
+		ts := testSeries(n, 6)
+		for _, l := range []int{5, 16, 33} {
+			s := n - l + 1
+			if s < 2 {
+				continue
+			}
+			means, invs := moments(ts, l)
+			excl := (l + 3) / 4
+			// Replay the streaming append: column j is built from column
+			// j−1 exactly as the streamer does, so the scanned values carry
+			// the real recurrence history (compounding any drift).
+			col := make([]float64, s)
+			col[0] = series.Dot(ts[0:l], ts[0:l])
+			gc := make([]float64, s)
+			gi := make([]int32, s)
+			wc := make([]float64, s)
+			wi := make([]int32, s)
+			for i := 0; i < s; i++ {
+				gc[i], wc[i] = math.Inf(-1), math.Inf(-1)
+				gi[i], wi[i] = -1, -1
+			}
+			for j := 1; j < s; j++ {
+				RowNext(col, ts, j, l, j+1)
+				col[0] = series.Dot(ts[0:l], ts[j:j+l])
+				iEnd := j - excl + 1
+				gotC, gotI := ColScan(col, means, invs, iEnd, 1/float64(l), means[j], invs[j], gc, gi, int32(j), math.Inf(-1), -1)
+				wantC, wantI := RefColScan(col, means, invs, iEnd, 1/float64(l), means[j], invs[j], wc, wi, int32(j), math.Inf(-1), -1)
+				if math.Float64bits(gotC) != math.Float64bits(wantC) || gotI != wantI {
+					t.Fatalf("n=%d l=%d j=%d: ColScan best (%v,%d) != reference (%v,%d)", n, l, j, gotC, gotI, wantC, wantI)
+				}
+				if gotI >= 0 {
+					gc[j], gi[j] = gotC, gotI
+					wc[j], wi[j] = wantC, wantI
+				}
+			}
+			if !bitsEqual(gc, wc) {
+				t.Fatalf("n=%d l=%d: ColScan corr slots diverge from reference", n, l)
+			}
+			for i := range gi {
+				if gi[i] != wi[i] {
+					t.Fatalf("n=%d l=%d: ColScan idx[%d]=%d != %d", n, l, i, gi[i], wi[i])
+				}
+			}
+		}
+	}
+}
+
 func benchSetup(n, l int) (ts, head, means, invs []float64, s int) {
 	ts = testSeries(n, 9)
 	s = n - l + 1

@@ -53,6 +53,22 @@ func RefAdvanceDot(qt float64, t []float64, i, j, p0, p1 int) float64 {
 	return qt
 }
 
+// RefColScan is ColScan as the plain ascending loop: one candidate per
+// earlier window, the slot-i total-order update and the slot-j running
+// maximum spelled out.
+func RefColScan(col, means, invs []float64, iEnd int, invFl, muJ, invJ float64, corr []float64, idx []int32, j int32, bestCorr float64, bestIdx int32) (float64, int32) {
+	for i := 0; i < iEnd; i++ {
+		c := (col[i]*invFl - means[i]*muJ) * invs[i] * invJ
+		if c > corr[i] || (c == corr[i] && j < idx[i]) {
+			corr[i], idx[i] = c, j
+		}
+		if c > bestCorr {
+			bestCorr, bestIdx = c, int32(i)
+		}
+	}
+	return bestCorr, bestIdx
+}
+
 // RefDiagScan is DiagScan one diagonal at a time — the shape the
 // incremental engine's pass had before the kernels were consolidated.
 func RefDiagScan(t, head, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {

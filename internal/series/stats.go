@@ -32,6 +32,19 @@ func NewStats(x []float64) *Stats {
 // N returns the length of the underlying series.
 func (st *Stats) N() int { return st.n }
 
+// Append extends the cumulative sums for points appended to the series.
+// Because the sums accumulate strictly left to right, the extended arrays
+// are bit-identical to a NewStats rebuild over the whole series — the
+// streaming engine relies on this to keep appended moments exactly equal
+// to their batch counterparts.
+func (st *Stats) Append(x []float64) {
+	for _, v := range x {
+		st.cum = append(st.cum, st.cum[st.n]+v)
+		st.cumSq = append(st.cumSq, st.cumSq[st.n]+v*v)
+		st.n++
+	}
+}
+
 // Sum returns Σ x[i:i+m].
 func (st *Stats) Sum(i, m int) float64 { return st.cum[i+m] - st.cum[i] }
 

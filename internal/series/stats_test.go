@@ -1,0 +1,45 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestStatsAppendBitIdentical grows a Stats value in random chunks and
+// asserts the result is bit-identical to a fresh NewStats over the same
+// prefix at every step — the property the streaming engine's moment
+// equality rests on.
+func TestStatsAppendBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 500
+	x := make([]float64, n)
+	v := 0.0
+	for i := range x {
+		v += rng.NormFloat64()
+		x[i] = v
+	}
+
+	st := NewStats(nil)
+	pos := 0
+	for pos < n {
+		chunk := 1 + rng.Intn(40)
+		if pos+chunk > n {
+			chunk = n - pos
+		}
+		st.Append(x[pos : pos+chunk])
+		pos += chunk
+
+		want := NewStats(x[:pos])
+		if st.N() != want.N() {
+			t.Fatalf("pos=%d: N=%d, want %d", pos, st.N(), want.N())
+		}
+		for i := 0; i <= pos; i++ {
+			if math.Float64bits(st.cum[i]) != math.Float64bits(want.cum[i]) ||
+				math.Float64bits(st.cumSq[i]) != math.Float64bits(want.cumSq[i]) {
+				t.Fatalf("pos=%d: sums diverge at i=%d: (%v,%v) vs (%v,%v)",
+					pos, i, st.cum[i], st.cumSq[i], want.cum[i], want.cumSq[i])
+			}
+		}
+	}
+}

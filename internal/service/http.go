@@ -14,9 +14,13 @@ import (
 //	POST   /v1/series          upload a series for reuse across jobs
 //	GET    /v1/series/{id}     uploaded-series metadata
 //	POST   /v1/jobs            submit a discovery (inline values or series_id)
+//	                           or open a stream job (kind "stream")
 //	GET    /v1/jobs/{id}       job status; result JSON once done
-//	GET    /v1/jobs/{id}/events  SSE per-length progress stream
-//	DELETE /v1/jobs/{id}       cancel the job
+//	GET    /v1/jobs/{id}/events  SSE stream: per-length progress for batch
+//	                           jobs, motif/discord change events for streams
+//	POST   /v1/jobs/{id}/append  feed the next chunk of points to a stream job
+//	DELETE /v1/jobs/{id}       cancel the job (closes a stream job: the
+//	                           final snapshot becomes its result)
 //	GET    /v1/stats           engine-run / cache / per-plan counters
 //	GET    /healthz            liveness
 func NewServer(m *Manager) http.Handler {
@@ -27,6 +31,7 @@ func NewServer(m *Manager) http.Handler {
 	mux.HandleFunc("POST /v1/jobs", s.submitJob)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.getJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.jobEvents)
+	mux.HandleFunc("POST /v1/jobs/{id}/append", s.appendJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.cancelJob)
 	mux.HandleFunc("GET /v1/stats", s.getStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
@@ -133,6 +138,35 @@ func (s *server) getJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
+// appendJob feeds the next chunk of points to a stream job. 200 returns
+// the updated status (state stays "running"); 400 rejects non-finite
+// chunks and non-stream targets with the stream untouched; 409 marks a
+// stream already closed by DELETE.
+func (s *server) appendJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.m.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	s.limitBody(w, r)
+	var body struct {
+		Values []float64 `json:"values"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		writeError(w, decodeErrorStatus(err), fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	if err := job.AppendStream(body.Values); err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrStreamClosed) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
 func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.m.Job(r.PathValue("id"))
 	if !ok {
@@ -143,10 +177,12 @@ func (s *server) cancelJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Status())
 }
 
-// jobEvents streams per-length progress as Server-Sent Events: one
-// "progress" event per completed length (replayed from the start for late
-// subscribers), then a single terminal event named after the final state
-// ("done"/"failed"/"canceled") carrying the full status — result included.
+// jobEvents streams a job's events as Server-Sent Events, replayed from
+// the start for late subscribers: batch jobs emit one "progress" event per
+// completed length, stream jobs one "change" event per best-pair or
+// top-discord change. Either way a single terminal event named after the
+// final state ("done"/"failed"/"canceled") carrying the full status —
+// result included — closes the stream.
 func (s *server) jobEvents(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.m.Job(r.PathValue("id"))
 	if !ok {
@@ -165,7 +201,11 @@ func (s *server) jobEvents(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	for e := range job.Watch(r.Context()) {
-		if err := writeSSE(w, "progress", e); err != nil {
+		name := "progress"
+		if e.Kind != "" {
+			name = "change"
+		}
+		if err := writeSSE(w, name, e); err != nil {
 			return
 		}
 		flusher.Flush()

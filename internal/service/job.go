@@ -27,13 +27,24 @@ func (s State) Terminal() bool {
 	return s == StateDone || s == StateFailed || s == StateCanceled
 }
 
-// Event is one per-length progress notification, the payload of the SSE
-// stream. Done/Total mirror valmod.Progress; Length is the completed
-// subsequence length.
+// Event is one SSE payload. For batch jobs it is a per-length progress
+// notification: Done/Total mirror valmod.Progress and Length is the
+// completed subsequence length. For stream jobs it is a change event:
+// Kind names what changed ("best_pair" or "top_discord"), N is the total
+// points appended when the change was observed, and exactly one of
+// Pair/Discord carries the new value with offsets in global stream
+// coordinates. The two shapes share one struct so the wire format of the
+// existing progress events is unchanged (the stream fields are omitted
+// when empty).
 type Event struct {
-	Done   int `json:"done"`
-	Total  int `json:"total"`
-	Length int `json:"length"`
+	Done   int `json:"done,omitempty"`
+	Total  int `json:"total,omitempty"`
+	Length int `json:"length,omitempty"`
+
+	Kind    string            `json:"kind,omitempty"`
+	N       int               `json:"n,omitempty"`
+	Pair    *valmod.MotifPair `json:"pair,omitempty"`
+	Discord *valmod.Discord   `json:"discord,omitempty"`
 }
 
 // Result is the JSON payload of a completed job. ResultOf builds the same
@@ -64,12 +75,16 @@ func ResultOf(r *valmod.Result) *Result {
 }
 
 // Status is a point-in-time snapshot of a job, the body of GET
-// /v1/jobs/{id}. Result is present only in state "done".
+// /v1/jobs/{id}. Result is present only in state "done". Kind is "stream"
+// for streaming jobs, with N the total points appended so far; both are
+// omitted for batch discoveries.
 type Status struct {
 	ID       string  `json:"id"`
 	State    State   `json:"state"`
 	Done     int     `json:"done"`
 	Total    int     `json:"total"`
+	Kind     string  `json:"kind,omitempty"`
+	N        int     `json:"n,omitempty"`
 	CacheHit bool    `json:"cache_hit,omitempty"`
 	Error    string  `json:"error,omitempty"`
 	Result   *Result `json:"result,omitempty"`
@@ -96,6 +111,11 @@ type Job struct {
 	// onCancel spends this job's single cancellation vote; Cancel is
 	// idempotent (HTTP DELETE retries must not burn a second vote).
 	onCancel func()
+
+	// kind is KindStream for streaming jobs, "" for batch discoveries;
+	// stream then holds the live engine and change-detection state.
+	kind   string
+	stream *streamState
 
 	mu       sync.Mutex
 	state    State
@@ -215,7 +235,10 @@ func (j *Job) finish(res *Result, err error) {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	st := Status{ID: j.ID, State: j.state, CacheHit: j.cacheHit}
+	st := Status{ID: j.ID, State: j.state, Kind: j.kind, CacheHit: j.cacheHit}
+	if j.stream != nil {
+		st.N = int(j.stream.total.Load())
+	}
 	if n := len(j.events); n > 0 {
 		st.Done, st.Total = j.events[n-1].Done, j.events[n-1].Total
 	}
@@ -224,8 +247,9 @@ func (j *Job) Status() Status {
 	}
 	if j.state == StateDone {
 		st.Result = j.result
-		if st.Total == 0 && j.result != nil {
+		if st.Total == 0 && j.result != nil && j.kind == "" {
 			// Cache hits carry no events; report the range as fully done.
+			// Stream jobs measure progress in points (N), not lengths.
 			st.Done = j.result.LMax - j.result.LMin + 1
 			st.Total = st.Done
 		}

@@ -72,16 +72,23 @@ var ErrQueueFull = errors.New("service: job queue full, retry later")
 // additionally carries the exact variable-length discords, and the
 // submission is cached and coalesced separately from pairs-only queries.
 type JobRequest struct {
-	Values            []float64 `json:"values,omitempty"`
-	SeriesID          string    `json:"series_id,omitempty"`
-	LMin              int       `json:"lmin"`
-	LMax              int       `json:"lmax"`
-	TopK              int       `json:"topk,omitempty"`
-	P                 int       `json:"p,omitempty"`
-	ExclusionFactor   int       `json:"exclusion_factor,omitempty"`
-	RecomputeFraction float64   `json:"recompute_fraction,omitempty"`
-	Discords          int       `json:"discords,omitempty"`
-	Workers           int       `json:"workers,omitempty"`
+	// Kind selects the job shape: "" or "discover" is a batch discovery;
+	// KindStream ("stream") opens a live stream job fed through POST
+	// /v1/jobs/{id}/append (no values/series_id at submit time).
+	Kind     string    `json:"kind,omitempty"`
+	Values   []float64 `json:"values,omitempty"`
+	SeriesID string    `json:"series_id,omitempty"`
+	LMin     int       `json:"lmin"`
+	LMax     int       `json:"lmax"`
+	// WindowCap bounds a stream job to the trailing WindowCap points
+	// (sliding-window mode); 0 keeps everything. Ignored by batch jobs.
+	WindowCap         int     `json:"window_cap,omitempty"`
+	TopK              int     `json:"topk,omitempty"`
+	P                 int     `json:"p,omitempty"`
+	ExclusionFactor   int     `json:"exclusion_factor,omitempty"`
+	RecomputeFraction float64 `json:"recompute_fraction,omitempty"`
+	Discords          int     `json:"discords,omitempty"`
+	Workers           int     `json:"workers,omitempty"`
 	// DisableIncremental forces from-scratch whole-profile passes (the
 	// incremental-engine ablation); results are cached separately since
 	// the reported plan stats differ.
@@ -253,6 +260,19 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	var values []float64
 	var hash [sha256.Size]byte
 	opts := req.options()
+	switch req.Kind {
+	case "", "discover":
+	case KindStream:
+		// Stream jobs bypass the cache and coalescing (each stream is its
+		// own mutable state, never shareable) but count toward MaxQueue.
+		// WindowCap only reaches the engine here: batch discoveries ignore
+		// it, and keeping it out of their options keeps the cache key
+		// insensitive to a field that cannot change a batch result.
+		opts.WindowCap = req.WindowCap
+		return m.submitStream(req, opts)
+	default:
+		return nil, fmt.Errorf("%w: kind=%q: want \"discover\" or \"stream\"", valmod.ErrBadInput, req.Kind)
+	}
 	switch {
 	case req.SeriesID != "" && req.Values != nil:
 		return nil, fmt.Errorf("%w: values/series_id: give one, not both", valmod.ErrBadInput)

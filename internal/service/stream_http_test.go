@@ -1,0 +1,269 @@
+package service
+
+import (
+	"bufio"
+	"flag"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+func doDelete(t *testing.T, client *http.Client, url string) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func appendChunk(t *testing.T, client *http.Client, base, id string, values []float64) Status {
+	t.Helper()
+	resp := postJSON(t, client, base+"/v1/jobs/"+id+"/append", map[string]any{"values": values})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d", resp.StatusCode)
+	}
+	return decode[Status](t, resp)
+}
+
+// TestStreamJobSSEGolden drives a stream job end to end over HTTP — fixed
+// chunking of the deterministic ECG generator through a sliding window —
+// and byte-compares the SSE change-event sequence (replayed via Job.Watch
+// after the stream closed) against a committed golden file. The sequence
+// is reproducible everywhere because the stream engine is bit-identical
+// at every worker count and the chunking is fixed; regenerate with
+// -update-golden after an intentional engine change.
+func TestStreamJobSSEGolden(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Shutdown()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	req := JobRequest{Kind: KindStream, LMin: 8, LMax: 32, TopK: 1, Discords: 1, Workers: 2, WindowCap: 320}
+	st := decode[Status](t, postJSON(t, client, ts.URL+"/v1/jobs", req))
+	if st.State != StateRunning || st.Kind != KindStream {
+		t.Fatalf("submitted stream job: state=%s kind=%q, want running/stream", st.State, st.Kind)
+	}
+
+	x := gen.ECG(600, 7).Values
+	const chunk = 64
+	var last Status
+	for pos := 0; pos < len(x); pos += chunk {
+		end := pos + chunk
+		if end > len(x) {
+			end = len(x)
+		}
+		last = appendChunk(t, client, ts.URL, st.ID, x[pos:end])
+	}
+	if last.N != len(x) || last.State != StateRunning {
+		t.Fatalf("after feed: N=%d state=%s, want %d/running", last.N, last.State, len(x))
+	}
+
+	// Close the stream: DELETE finalizes it, the last snapshot is the result.
+	final := decode[Status](t, doDelete(t, client, ts.URL+"/v1/jobs/"+st.ID))
+	if final.State != StateDone || final.Result == nil {
+		t.Fatalf("closed stream: state=%s result=%v, want done with result", final.State, final.Result != nil)
+	}
+	if final.Result.N != 320 {
+		t.Fatalf("final result over %d points, want the 320-point trailing window", final.Result.N)
+	}
+
+	// Replay the full SSE stream and split it at the terminal event: the
+	// change-event prefix is the golden payload.
+	resp, err := client.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var changes strings.Builder
+	var terminal string
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") && !strings.HasPrefix(line, "event: change") {
+			terminal = strings.TrimPrefix(line, "event: ")
+			break
+		}
+		changes.WriteString(line)
+		changes.WriteString("\n")
+	}
+	if terminal != string(StateDone) {
+		t.Fatalf("terminal SSE event %q, want %q", terminal, StateDone)
+	}
+	got := changes.String()
+	if !strings.Contains(got, `"kind":"best_pair"`) || !strings.Contains(got, `"kind":"top_discord"`) {
+		t.Fatalf("change stream misses a kind:\n%s", got)
+	}
+
+	goldenPath := filepath.Join("testdata", "stream_events.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("SSE change events diverge from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+}
+
+// TestStreamJobErrors pins the append endpoint's error contract and the
+// queue accounting of stream jobs.
+func TestStreamJobErrors(t *testing.T) {
+	m := NewManager(Config{MaxQueue: 1})
+	defer m.Shutdown()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	expectStatus := func(resp *http.Response, want int, tag string) {
+		t.Helper()
+		defer resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Fatalf("%s: status %d, want %d", tag, resp.StatusCode, want)
+		}
+	}
+
+	// Submit-time validation: data at submit, bad range, unknown kind.
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: KindStream, LMin: 8, LMax: 16, Values: []float64{1, 2}}),
+		http.StatusBadRequest, "stream with values")
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: KindStream, LMin: 2, LMax: 16}),
+		http.StatusBadRequest, "lmin too small")
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: KindStream, LMin: 8, LMax: 16, WindowCap: 15}),
+		http.StatusBadRequest, "window cap below lmax")
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: "batch", LMin: 8, LMax: 16, Values: make([]float64, 64)}),
+		http.StatusBadRequest, "unknown kind")
+
+	st := decode[Status](t, postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: KindStream, LMin: 8, LMax: 16, TopK: 1}))
+
+	// An open stream occupies the (only) queue slot.
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: KindStream, LMin: 8, LMax: 16}),
+		http.StatusTooManyRequests, "second stream over MaxQueue")
+
+	// Malformed JSON is a 400 (JSON cannot even spell NaN; the engine's
+	// own non-finite rejection is pinned below through the Go API), and a
+	// rejected append leaves the stream untouched.
+	after := appendChunk(t, client, ts.URL, st.ID, []float64{1, 2, 3})
+	resp := postJSON(t, client, ts.URL+"/v1/jobs/"+st.ID+"/append",
+		map[string]any{"values": []any{1.0, "NaN"}})
+	expectStatus(resp, http.StatusBadRequest, "non-numeric value")
+	job, ok := m.Job(st.ID)
+	if !ok {
+		t.Fatal("job vanished")
+	}
+	if err := job.AppendStream([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN append: want error")
+	}
+	r, err := client.Get(ts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := decode[Status](t, r); got.N != after.N {
+		t.Fatalf("rejected append changed N: %d → %d", after.N, got.N)
+	}
+
+	// Appending to a batch job is a 400; to a closed stream a 409.
+	expectStatus(doDelete(t, client, ts.URL+"/v1/jobs/"+st.ID), http.StatusOK, "close")
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs/"+st.ID+"/append",
+		map[string]any{"values": []float64{1}}), http.StatusConflict, "append after close")
+
+	// The slot freed by the close admits a batch job; appending to it fails.
+	values := make([]float64, 128)
+	for i := range values {
+		values[i] = math.Sin(float64(i) / 3)
+	}
+	bj := decode[Status](t, postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Values: values, LMin: 8, LMax: 16, Workers: 1}))
+	expectStatus(postJSON(t, client, ts.URL+"/v1/jobs/"+bj.ID+"/append",
+		map[string]any{"values": []float64{1}}), http.StatusBadRequest, "append to batch job")
+	waitHTTPTerminal(t, client, ts.URL, bj.ID)
+}
+
+// TestStreamJobConcurrentAppends hammers one stream job from several
+// goroutines; the per-job lock must serialize them (this test is the
+// -race witness) and every point must land exactly once.
+func TestStreamJobConcurrentAppends(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Shutdown()
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	st := decode[Status](t, postJSON(t, client, ts.URL+"/v1/jobs",
+		JobRequest{Kind: KindStream, LMin: 8, LMax: 24, TopK: 1, Discords: 1}))
+	x := gen.SineMix(512).Values
+	const parts = 8
+	var wg sync.WaitGroup
+	for p := 0; p < parts; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			lo, hi := p*len(x)/parts, (p+1)*len(x)/parts
+			resp := postJSON(t, client, ts.URL+"/v1/jobs/"+st.ID+"/append",
+				map[string]any{"values": x[lo:hi]})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("concurrent append: status %d", resp.StatusCode)
+			}
+			resp.Body.Close()
+		}(p)
+	}
+	wg.Wait()
+	final := decode[Status](t, doDelete(t, client, ts.URL+"/v1/jobs/"+st.ID))
+	if final.State != StateDone || final.Result == nil || final.N != len(x) {
+		t.Fatalf("state=%s result=%v N=%d, want done with result over %d points",
+			final.State, final.Result != nil, final.N, len(x))
+	}
+	if final.Result.Best == nil {
+		t.Fatal("final result has no best pair")
+	}
+}
+
+// TestStreamCloseWithoutData: a stream closed before lmin points has no
+// result to give and lands in "canceled".
+func TestStreamCloseWithoutData(t *testing.T) {
+	m := NewManager(Config{})
+	defer m.Shutdown()
+	job, err := m.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := job.AppendStream([]float64{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	job.Cancel()
+	if st := job.Status(); st.State != StateCanceled || st.Result != nil {
+		t.Fatalf("state=%s result=%v, want canceled without result", st.State, st.Result != nil)
+	}
+	// Cancel is idempotent for stream jobs too.
+	job.Cancel()
+	if err := job.AppendStream([]float64{1}); err == nil {
+		t.Fatal("append after close: want error")
+	}
+}

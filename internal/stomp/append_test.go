@@ -1,0 +1,63 @@
+package stomp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+// TestAppendColumnMatchesDots replays a growing series point by point and
+// checks the carried last column against direct dot products at every step
+// — the recurrence must track the definition within floating tolerance as
+// the chain depth grows.
+func TestAppendColumnMatchesDots(t *testing.T) {
+	const n, m = 400, 16
+	rng := rand.New(rand.NewSource(11))
+	full := make([]float64, n)
+	v := 0.0
+	for i := range full {
+		v += rng.NormFloat64()
+		full[i] = v
+	}
+	// A constant segment so σ=0 windows flow through the recurrence too.
+	for i := 150; i < 190; i++ {
+		full[i] = 3.25
+	}
+
+	var col []float64
+	var err error
+	for np := m; np <= n; np++ {
+		ts := full[:np]
+		col, err = AppendColumn(col, ts, m)
+		if err != nil {
+			t.Fatalf("n=%d: AppendColumn: %v", np, err)
+		}
+		j := np - m
+		if len(col) != j+1 {
+			t.Fatalf("n=%d: column has %d cells, want %d", np, len(col), j+1)
+		}
+		for i := 0; i <= j; i++ {
+			want := series.Dot(ts[i:i+m], ts[j:j+m])
+			scale := math.Abs(want)
+			if scale < 1 {
+				scale = 1
+			}
+			if math.Abs(col[i]-want) > 1e-9*scale {
+				t.Fatalf("n=%d: QT(%d,%d) = %v, want %v", np, i, j, col[i], want)
+			}
+		}
+	}
+}
+
+// TestAppendColumnErrors covers the argument contract.
+func TestAppendColumnErrors(t *testing.T) {
+	ts := make([]float64, 10)
+	if _, err := AppendColumn(nil, ts[:3], 4); err == nil {
+		t.Fatal("m > n: want error")
+	}
+	if _, err := AppendColumn(nil, ts, 4); err == nil {
+		t.Fatal("short column: want error (need 6 cells, have 0)")
+	}
+}

@@ -1,0 +1,219 @@
+package valmod_test
+
+// The public half of the streaming equivalence harness: any chunking of a
+// series through Stream.Append is tolerance-equivalent to one-shot
+// Discover over the same points, and a fixed chunking is bit-identical at
+// every worker count. The internal harness (internal/core/stream_test.go)
+// pins the same properties against the core engine plus eviction and
+// chunking invariance; this file pins them through the public API on the
+// realistic generated datasets.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+// chunkSplit cuts n points into random chunks, forcing 1-point chunks and
+// chunks whose boundaries land inside a subsequence window.
+func chunkSplit(rng *rand.Rand, n, maxChunk int) []int {
+	var out []int
+	pos := 0
+	for pos < n {
+		c := 1 + rng.Intn(maxChunk)
+		if rng.Intn(5) == 0 {
+			c = 1
+		}
+		if pos+c > n {
+			c = n - pos
+		}
+		out = append(out, c)
+		pos += c
+	}
+	return out
+}
+
+// feed streams x through a fresh Stream in the given chunk sizes.
+func feed(t *testing.T, lmin, lmax int, opts valmod.Options, x []float64, chunks []int) *valmod.Stream {
+	t.Helper()
+	st, err := valmod.NewStream(lmin, lmax, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, c := range chunks {
+		if err := st.Append(x[pos : pos+c]); err != nil {
+			t.Fatalf("append at %d: %v", pos, err)
+		}
+		pos += c
+	}
+	return st
+}
+
+// assertEquivalent compares a stream snapshot to a batch Discover result:
+// per-length pair lists rank-wise (equal distances within tolerance,
+// identities checked with a true-tie allowance) and the discord ranking.
+func assertEquivalent(t *testing.T, tag string, got, want *valmod.Result) {
+	t.Helper()
+	if got.N != want.N || got.LMin != want.LMin || got.LMax != want.LMax {
+		t.Fatalf("%s: shape (N=%d,[%d,%d]), want (N=%d,[%d,%d])",
+			tag, got.N, got.LMin, got.LMax, want.N, want.LMin, want.LMax)
+	}
+	if len(got.PerLength) != len(want.PerLength) {
+		t.Fatalf("%s: %d lengths, want %d", tag, len(got.PerLength), len(want.PerLength))
+	}
+	for i := range got.PerLength {
+		g, w := got.PerLength[i], want.PerLength[i]
+		if g.Length != w.Length || len(g.Pairs) != len(w.Pairs) {
+			t.Fatalf("%s: slot %d has m=%d/%d pairs, want m=%d/%d", tag, i, g.Length, len(g.Pairs), w.Length, len(w.Pairs))
+		}
+		for r := range g.Pairs {
+			gp, wp := g.Pairs[r], w.Pairs[r]
+			if math.Abs(gp.Distance-wp.Distance) > 1e-6*(1+wp.Distance) {
+				t.Fatalf("%s: m=%d rank %d dist %g, want %g", tag, g.Length, r, gp.Distance, wp.Distance)
+			}
+			if (gp.A != wp.A || gp.B != wp.B) && math.Abs(gp.Distance-wp.Distance) > 1e-9*(1+wp.Distance) {
+				t.Fatalf("%s: m=%d rank %d pair (%d,%d), want (%d,%d)", tag, g.Length, r, gp.A, gp.B, wp.A, wp.B)
+			}
+		}
+	}
+	if len(got.Discords) != len(want.Discords) {
+		t.Fatalf("%s: %d discords, want %d", tag, len(got.Discords), len(want.Discords))
+	}
+	for i := range got.Discords {
+		g, w := got.Discords[i], want.Discords[i]
+		if math.Abs(g.NormDistance-w.NormDistance) > 1e-6*(1+w.NormDistance) {
+			t.Fatalf("%s: discord %d norm dist %g, want %g", tag, i, g.NormDistance, w.NormDistance)
+		}
+		if (g.Offset != w.Offset || g.Length != w.Length) && math.Abs(g.NormDistance-w.NormDistance) > 1e-9*(1+w.NormDistance) {
+			t.Fatalf("%s: discord %d (off=%d,len=%d), want (off=%d,len=%d)", tag, i, g.Offset, g.Length, w.Offset, w.Length)
+		}
+	}
+}
+
+// TestAppendEqualsBatch is the headline property: random chunk splits —
+// 1-point chunks and window-straddling boundaries included — of ecg,
+// astro and generated random-walk series match batch Discover at workers
+// 1 and 4, and a fixed chunking is bit-identical across worker counts.
+func TestAppendEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	walk := make([]float64, 640)
+	v := 0.0
+	for i := range walk {
+		v += rng.NormFloat64()
+		walk[i] = v
+	}
+	datasets := map[string][]float64{
+		"ecg":       gen.ECG(640, 7).Values,
+		"astro":     gen.Astro(640, 7).Values,
+		"generated": walk,
+	}
+	const lmin, lmax = 8, 40
+	opts := valmod.Options{TopK: 3, Discords: 3}
+	for name, x := range datasets {
+		want, err := valmod.Discover(x, lmin, lmax, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 3; trial++ {
+			chunks := chunkSplit(rng, len(x), 80)
+			var perWorkers []*valmod.Result
+			for _, workers := range []int{1, 4} {
+				o := opts
+				o.Workers = workers
+				st := feed(t, lmin, lmax, o, x, chunks)
+				got, err := st.Snapshot()
+				if err != nil {
+					t.Fatal(err)
+				}
+				assertEquivalent(t, name, got, want)
+				perWorkers = append(perWorkers, got)
+			}
+			// Fixed chunking: worker count must not change a single bit.
+			if !reflect.DeepEqual(perWorkers[0], perWorkers[1]) {
+				t.Fatalf("%s trial %d: workers=1 and workers=4 snapshots differ bitwise", name, trial)
+			}
+		}
+	}
+}
+
+// TestStreamSlidingWindowPublic exercises WindowCap through the public
+// API: a capped stream equals Discover over the trailing window.
+func TestStreamSlidingWindowPublic(t *testing.T) {
+	x := gen.ECG(900, 11).Values
+	const lmin, lmax, cap = 8, 32, 384
+	opts := valmod.Options{TopK: 2, Discords: 2, WindowCap: cap, Workers: 2}
+	st, err := valmod.NewStream(lmin, lmax, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	pos := 0
+	for pos < len(x) {
+		c := 1 + rng.Intn(70)
+		if pos+c > len(x) {
+			c = len(x) - pos
+		}
+		if err := st.Append(x[pos : pos+c]); err != nil {
+			t.Fatal(err)
+		}
+		pos += c
+	}
+	if st.N() != cap || st.Start() != len(x)-cap || st.Total() != len(x) {
+		t.Fatalf("N=%d Start=%d Total=%d, want %d/%d/%d", st.N(), st.Start(), st.Total(), cap, len(x)-cap, len(x))
+	}
+	got, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bopts := opts
+	bopts.WindowCap = 0
+	want, err := valmod.Discover(x[len(x)-cap:], lmin, lmax, bopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEquivalent(t, "sliding", got, want)
+}
+
+// TestStreamValidationPublic pins the public error contract.
+func TestStreamValidationPublic(t *testing.T) {
+	if _, err := valmod.NewStream(2, 8, valmod.Options{}); err == nil {
+		t.Fatal("lmin=2: want error")
+	}
+	if _, err := valmod.NewStream(8, 32, valmod.Options{WindowCap: 31}); err == nil {
+		t.Fatal("WindowCap < lmax: want error")
+	}
+	if _, err := valmod.NewStream(8, 32, valmod.Options{WindowCap: -1}); err == nil {
+		t.Fatal("WindowCap < 0: want error")
+	}
+	st, err := valmod.NewStream(8, 16, valmod.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append([]float64{1, math.NaN()}); err == nil {
+		t.Fatal("NaN append: want error")
+	}
+	if _, err := st.Snapshot(); err == nil {
+		t.Fatal("snapshot on empty stream: want error")
+	}
+	if st.Ready() {
+		t.Fatal("empty stream reports Ready")
+	}
+	x := gen.SineMix(64).Values
+	if err := st.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ready() {
+		t.Fatal("stream with 64 points not Ready")
+	}
+	if res, err := st.Snapshot(); err != nil || len(res.PerLength) == 0 {
+		t.Fatalf("snapshot: %v", err)
+	}
+	if _, ok := st.BestPair(); !ok {
+		t.Fatal("BestPair on a 64-point sine: want a pair")
+	}
+}

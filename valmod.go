@@ -64,6 +64,13 @@ type Options struct {
 	// the run costs one full matrix-profile pass per length instead of
 	// the pruned pass (the per-length stats report full recomputes).
 	Discords int
+	// WindowCap, when positive, puts a Stream in sliding-window mode: the
+	// retained series is trimmed to exactly the trailing WindowCap points
+	// after every Append, so results are always a pure function of the
+	// last min(n, WindowCap) points, independent of how the stream was
+	// chunked. Must be at least lmax when set (every length needs one
+	// window). Batch Discover ignores it.
+	WindowCap int
 	// Workers bounds the goroutines used by the data-parallel phases: the
 	// ℓmin seed, full recomputes, and the per-length advance→certify pass
 	// over anchor shards (0 = all cores, 1 = serial). The work is
@@ -263,6 +270,9 @@ func (o Options) validate() error {
 	if o.Discords < 0 {
 		return fmt.Errorf("%w: Options.Discords=%d: must be >= 0 (0 disables discord discovery)", ErrBadInput, o.Discords)
 	}
+	if o.WindowCap < 0 {
+		return fmt.Errorf("%w: Options.WindowCap=%d: must be >= 0 (0 disables the sliding window)", ErrBadInput, o.WindowCap)
+	}
 	return nil
 }
 
@@ -354,10 +364,17 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 		}
 		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
 	}
+	return resultFromCore(res, values), nil
+}
+
+// resultFromCore converts a completed internal run into the public Result,
+// shared by batch DiscoverContext and Stream.Snapshot so the two surfaces
+// can never drift.
+func resultFromCore(res *core.Result, values []float64) *Result {
 	out := &Result{
 		N:      res.N,
-		LMin:   lmin,
-		LMax:   lmax,
+		LMin:   res.Cfg.LMin,
+		LMax:   res.Cfg.LMax,
 		Plan:   PlanStats(res.Plan),
 		values: values,
 		excl:   res.Cfg.ExclusionFactor,
@@ -373,11 +390,11 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 	out.Profile = res.MPMin.Dist
 	out.ProfileIndex = res.MPMin.Index
 	out.VALMAP = &VALMAP{
-		LMin: lmin, LMax: lmax,
+		LMin: res.Cfg.LMin, LMax: res.Cfg.LMax,
 		MPn: res.VMap.MPn, IP: res.VMap.IP, LP: res.VMap.LP,
 		inner: res.VMap,
 	}
-	return out, nil
+	return out
 }
 
 // defaultCore backs the package-level Discover helpers so one-shot calls
