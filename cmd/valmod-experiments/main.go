@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	valmod "github.com/seriesmining/valmod"
@@ -57,8 +58,9 @@ func main() {
 		bench       = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
 		benchN      = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
 		out         = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
-		parity      = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series and exit non-zero if they disagree on the best pair — the CI smoke check")
-		large       = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4) to the -bench-json suite")
+		parity      = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series (best pair must agree), then the exhaustive, LB-skip and strict stride/refine pairs+discords plans (best pair AND top discord must agree); exit non-zero on any drift — the CI smoke check")
+		large       = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4; the n100k cases run the LB length-skip plan) to the -bench-json suite")
+		million     = flag.Bool("bench-million", false, "add the million-point case (ecg/pairs+discords/stride@n1m: LengthStride=20, RefineRadius=1, Carry32, one worker) to the -bench-json suite; expect hours on one core")
 		benchStream = flag.Bool("bench-stream", false, "run the streaming-append throughput suite (ecg fed in -stream-chunk point chunks, capped and uncapped) and emit machine-readable JSON")
 		streamN     = flag.Int("stream-n", 50000, "total points fed through the stream for -bench-stream")
 		streamChunk = flag.Int("stream-chunk", 1000, "chunk size for -bench-stream")
@@ -95,7 +97,7 @@ func main() {
 	}
 	if *bench || *parity || *benchStream {
 		if *bench {
-			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large); err != nil {
+			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large, *million); err != nil {
 				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
 				os.Exit(1)
 			}
@@ -111,7 +113,7 @@ func main() {
 				fmt.Fprintln(os.Stderr, "valmod-experiments: plan parity:", err)
 				os.Exit(1)
 			}
-			fmt.Fprintln(os.Stderr, "plan parity: pruned, full and incremental plans agree")
+			fmt.Fprintln(os.Stderr, "plan parity: pruned/full/incremental and exhaustive/lb-skip/stride-strict plans agree")
 		}
 		return
 	}
@@ -135,6 +137,10 @@ type benchCase struct {
 	TopK              int     `json:"topk"`
 	Discords          int     `json:"discords"`
 	Workers           int     `json:"workers"`
+	LengthSkip        bool    `json:"length_skip,omitempty"`
+	LengthStride      int     `json:"length_stride,omitempty"`
+	RefineRadius      int     `json:"refine_radius,omitempty"`
+	Carry32           bool    `json:"carry32,omitempty"`
 	Seconds           float64 `json:"seconds"`
 	Lengths           int     `json:"lengths"`
 	CertifiedAnchors  int     `json:"certified_anchors"`
@@ -148,12 +154,22 @@ type benchCase struct {
 	RecomputeLengths   int `json:"recompute_lengths"`
 	HeadSeeds          int `json:"head_seeds,omitempty"`
 	HeadExtensions     int `json:"head_extensions,omitempty"`
+	LBSkippedLengths   int `json:"lb_skipped_lengths,omitempty"`
+	StrideScanned      int `json:"stride_scanned,omitempty"`
+	RefinedLengths     int `json:"refined_lengths,omitempty"`
 	// Allocation accounting across the timed run (runtime.MemStats deltas
 	// divided by the length count): with the zero-alloc steady state the
 	// per-length numbers are dominated by per-run setup, so they fall as
 	// the range grows — the committed baselines record the trend.
 	AllocsPerLength float64 `json:"allocs_per_length"`
 	BytesPerLength  float64 `json:"bytes_per_length"`
+	// Peak memory after the run: MaxRSSBytes is the getrusage(2) high-water
+	// mark of the whole process (cases run small→large, so each case's
+	// value reflects the largest workload so far — the last case of a suite
+	// owns the suite's peak), HeapInuseBytes the live Go heap at the same
+	// instant.
+	MaxRSSBytes    uint64 `json:"max_rss_bytes,omitempty"`
+	HeapInuseBytes uint64 `json:"heap_inuse_bytes,omitempty"`
 	// Result anchors. The offsets/lengths pin the discovery exactly;
 	// distances can drift in trailing digits across arithmetic changes
 	// (documented per PR), so anchor identity is checked on offsets.
@@ -181,7 +197,7 @@ type benchReport struct {
 // full-profile plan) over the same series and length range. Timings are
 // machine-dependent; the result anchors are not (fixed seed, fixed
 // grids), so baseline diffs separate "faster/slower" from "different".
-func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bool) error {
+func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, million bool) error {
 	const rangeLen = 20
 	rep := benchReport{
 		GoVersion: runtime.Version(),
@@ -190,12 +206,15 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bo
 		NumCPU:    runtime.NumCPU(),
 		Seed:      seed,
 	}
-	runCase := func(ds string, n, discords, caseWorkers int, tag string) error {
+	runCase := func(ds string, n, discords, caseWorkers int, tag string, mod func(*valmod.Options)) error {
 		s, err := gen.Dataset(ds, n, seed)
 		if err != nil {
 			return err
 		}
 		opts := valmod.Options{TopK: 10, Discords: discords, Workers: caseWorkers}
+		if mod != nil {
+			mod(&opts)
+		}
 		var m0, m1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
@@ -219,6 +238,10 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bo
 			Dataset: ds, N: n,
 			LMin: lmin, LMax: lmin + rangeLen - 1,
 			TopK: opts.TopK, Discords: discords, Workers: caseWorkers,
+			LengthSkip:         opts.LengthSkip,
+			LengthStride:       opts.LengthStride,
+			RefineRadius:       opts.RefineRadius,
+			Carry32:            opts.Carry32,
 			Seconds:            elapsed.Seconds(),
 			Lengths:            len(res.PerLength),
 			PrunedLengths:      res.Plan.PrunedLengths,
@@ -226,6 +249,14 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bo
 			RecomputeLengths:   res.Plan.RecomputeLengths,
 			HeadSeeds:          res.Plan.HeadSeeds,
 			HeadExtensions:     res.Plan.HeadExtensions,
+			LBSkippedLengths:   res.Plan.LBSkippedLengths,
+			StrideScanned:      res.Plan.StrideScanned,
+			RefinedLengths:     res.Plan.RefinedLengths,
+			HeapInuseBytes:     m1.HeapInuse,
+		}
+		var ru syscall.Rusage
+		if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil && ru.Maxrss > 0 {
+			bc.MaxRSSBytes = uint64(ru.Maxrss) * 1024 // linux reports KiB
 		}
 		if lengths := len(res.PerLength); lengths > 0 {
 			bc.AllocsPerLength = float64(m1.Mallocs-m0.Mallocs) / float64(lengths)
@@ -263,7 +294,7 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bo
 	}
 	for _, ds := range []string{"ecg", "astro"} {
 		for _, spec := range specs {
-			if err := runCase(ds, n, spec.discords, spec.workers, ""); err != nil {
+			if err := runCase(ds, n, spec.discords, spec.workers, "", nil); err != nil {
 				return err
 			}
 		}
@@ -271,22 +302,43 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large bo
 	if large {
 		// Large-series cases proving the kernels at 10–20× the classic n,
 		// each at workers=1 and workers=4 so the baselines also witness the
-		// fixed-grid bit-identity at scale (the anchors must match).
+		// fixed-grid bit-identity at scale (the anchors must match). The
+		// n100k pairs+discords cases run the strict LB length-skip plan —
+		// the same anchors as the exhaustive BENCH_PR5 baseline (strict mode
+		// certifies them), resolved without one full-profile pass per
+		// length.
+		skip := func(o *valmod.Options) { o.LengthSkip = true }
 		for _, lc := range []struct {
 			n, discords, workers int
 			tag                  string
+			mod                  func(*valmod.Options)
 		}{
-			{50000, 0, 1, "@n50k"},
-			{50000, 0, 4, "@n50k"},
-			{100000, 5, 1, "@n100k"},
-			{100000, 5, 4, "@n100k"},
+			{50000, 0, 1, "@n50k", nil},
+			{50000, 0, 4, "@n50k", nil},
+			{100000, 5, 1, "@n100k", skip},
+			{100000, 5, 4, "@n100k", skip},
 		} {
 			// runCase appends a @w suffix whenever the case's worker count
 			// differs from the -workers flag, keeping the w1/w4 pair of each
 			// size distinguishable under the default flag value of 1.
-			if err := runCase("ecg", lc.n, lc.discords, lc.workers, lc.tag); err != nil {
+			if err := runCase("ecg", lc.n, lc.discords, lc.workers, lc.tag, lc.mod); err != nil {
 				return err
 			}
+		}
+	}
+	if million {
+		// The headline scale case: one coarse-to-fine pass over a million
+		// points. Stride 20 over the 20-length range scans ℓmin only (a
+		// single O(s²) diagonal pass, in float32 carry with float64
+		// accumulation), resolves the other 19 lengths from the carried
+		// dot products plus survivor recomputes, and refines ±1 around the
+		// winners.
+		if err := runCase("ecg", 1_000_000, 5, 1, "/stride@n1m", func(o *valmod.Options) {
+			o.LengthStride = 20
+			o.RefineRadius = 1
+			o.Carry32 = true
+		}); err != nil {
+			return err
 		}
 	}
 	w := os.Stdout
@@ -498,6 +550,62 @@ func runPlanParity(n, lmin int, seed int64, workers int) error {
 			if d := best.NormDistance - ref.NormDistance; d > 1e-9*(1+ref.NormDistance) || d < -1e-9*(1+ref.NormDistance) {
 				return fmt.Errorf("%s: %s best norm dist %g vs %s %g",
 					ds, p.name, best.NormDistance, refName, ref.NormDistance)
+			}
+		}
+	}
+	// Coarse-to-fine parity: on pairs+discords queries the strict LB
+	// length-skip plan and the strict stride/refine plan must agree with
+	// the exhaustive plan on the best pair AND the top discord — both
+	// anchors the strict modes certify exactly (internal/core/modes.go
+	// documents the argument). Any drift fails CI.
+	for _, ds := range []string{"ecg", "astro"} {
+		s, err := gen.Dataset(ds, n, seed)
+		if err != nil {
+			return err
+		}
+		plans := []struct {
+			name string
+			opts valmod.Options
+		}{
+			{"exhaustive", valmod.Options{TopK: 1, Discords: 3, Workers: workers}},
+			{"lb-skip", valmod.Options{TopK: 1, Discords: 3, Workers: workers, LengthSkip: true}},
+			{"stride-strict", valmod.Options{TopK: 1, Discords: 3, Workers: workers, LengthStride: 4, Strict: true}},
+		}
+		var refName string
+		var refBest valmod.MotifPair
+		var refDisc valmod.Discord
+		for pi, p := range plans {
+			res, err := valmod.Discover(s.Values, lmin, lmin+rangeLen-1, p.opts)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", ds, p.name, err)
+			}
+			best, ok := res.BestOverall()
+			if !ok {
+				return fmt.Errorf("%s/%s: no best pair found", ds, p.name)
+			}
+			if len(res.Discords) == 0 {
+				return fmt.Errorf("%s/%s: no discords found", ds, p.name)
+			}
+			disc := res.Discords[0]
+			if pi == 0 {
+				refName, refBest, refDisc = p.name, best, disc
+				continue
+			}
+			if best.A != refBest.A || best.B != refBest.B || best.Length != refBest.Length {
+				return fmt.Errorf("%s: %s best pair (%d,%d,len=%d) != %s best pair (%d,%d,len=%d)",
+					ds, p.name, best.A, best.B, best.Length, refName, refBest.A, refBest.B, refBest.Length)
+			}
+			if d := best.NormDistance - refBest.NormDistance; d > 1e-9*(1+refBest.NormDistance) || d < -1e-9*(1+refBest.NormDistance) {
+				return fmt.Errorf("%s: %s best norm dist %g vs %s %g",
+					ds, p.name, best.NormDistance, refName, refBest.NormDistance)
+			}
+			if disc.Offset != refDisc.Offset || disc.Length != refDisc.Length {
+				return fmt.Errorf("%s: %s top discord (%d,len=%d) != %s top discord (%d,len=%d)",
+					ds, p.name, disc.Offset, disc.Length, refName, refDisc.Offset, refDisc.Length)
+			}
+			if d := disc.NormDistance - refDisc.NormDistance; d > 1e-9*(1+refDisc.NormDistance) || d < -1e-9*(1+refDisc.NormDistance) {
+				return fmt.Errorf("%s: %s top discord norm dist %g vs %s %g",
+					ds, p.name, disc.NormDistance, refName, refDisc.NormDistance)
 			}
 		}
 	}

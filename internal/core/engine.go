@@ -75,6 +75,7 @@ type run struct {
 	eng     *Engine
 	ctx     context.Context
 	t       []float64
+	t32     []float32 // lazy float32 series copy (Config.Carry32), see series32
 	st      *series.Stats
 	cfg     Config
 	sMin    int
@@ -258,6 +259,10 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 		r.store.DrainHotRows(e.putRow)
 	}()
 
+	if fm := newFastMode(r, sinks); fm != nil {
+		return fm.run()
+	}
+
 	plans := planLengths(cfg, sinks)
 	lastPruned := -1
 	for idx, p := range plans {
@@ -310,7 +315,7 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 				dispatch(LengthData{L: l, Result: lr, Profile: mp}, done)
 				continue
 			}
-			lr, err := r.processLength(l)
+			lr, _, err := r.processLength(l)
 			if err != nil {
 				return r.planStats, err
 			}

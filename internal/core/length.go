@@ -49,7 +49,11 @@ func (r *run) processLengthFull(l int) (LengthResult, *profile.MatrixProfile, er
 // processLength resolves length l exactly, using pruning where possible:
 // the data-parallel advance→certify pass over anchor shards, then the
 // serial recompute-to-fixpoint over the (few) uncertified stragglers.
-func (r *run) processLength(l int) (LengthResult, error) {
+// The returned profile is non-nil only when the fixpoint fell back to a
+// whole-profile recompute (so callers that also want discords can reuse
+// the pass instead of paying a second one); on the pruned path it is nil
+// and r.lmp holds the certified-or-upper-bound candidate profile.
+func (r *run) processLength(l int) (LengthResult, *profile.MatrixProfile, error) {
 	n := len(r.t)
 	s := n - l + 1
 	excl := profile.ExclusionZone(l, r.cfg.ExclusionFactor)
@@ -57,7 +61,7 @@ func (r *run) processLength(l int) (LengthResult, error) {
 
 	if s <= excl {
 		// No non-trivial pair can exist at this length.
-		return lr, nil
+		return lr, nil, nil
 	}
 
 	r.momentsAt(l)
@@ -94,7 +98,7 @@ func (r *run) processLength(l int) (LengthResult, error) {
 	recomputed := 0
 	for {
 		if err := r.ctx.Err(); err != nil {
-			return lr, err
+			return lr, nil, err
 		}
 		pairs := lmp.TopKPairsInto(r.cfg.TopK, &r.topk)
 		// τ is the certification threshold: with a full top-k in hand, the
@@ -114,17 +118,17 @@ func (r *run) processLength(l int) (LengthResult, error) {
 		if len(need) == 0 {
 			lr.Pairs = pairs
 			lr.Stats.Recomputed = recomputed
-			return lr, nil
+			return lr, nil, nil
 		}
 		if float64(recomputed+len(need)) >= r.cfg.RecomputeFraction*float64(s) {
 			mp, err := r.fullRecompute(l)
 			if err != nil {
-				return lr, err
+				return lr, nil, err
 			}
 			lr.Pairs = mp.TopKPairsInto(r.cfg.TopK, &r.topk)
 			lr.Stats.Recomputed = recomputed
 			lr.Stats.FullRecompute = true
-			return lr, nil
+			return lr, mp, nil
 		}
 		r.recomputeBatch(need, l, excl, s, lmp)
 		recomputed += len(need)

@@ -174,10 +174,14 @@ func (*valmapSink) Requires() Requirement { return TopKPairs }
 func (s *valmapSink) Consume(ld LengthData) {
 	if ld.L == s.vm.LMin {
 		// VALMAP starts as the length-normalized ℓmin profile (flat LP).
-		mp := ld.Profile
-		for i := range mp.Dist {
-			if mp.Index[i] >= 0 {
-				s.vm.InitFromProfile(i, series.LengthNormalize(mp.Dist[i], ld.L), mp.Index[i], ld.L)
+		// A nil profile means ℓmin admits no non-trivial pair (the range
+		// starts flush against the series end): seal the empty map and let
+		// longer lengths, if any, improve nothing.
+		if mp := ld.Profile; mp != nil {
+			for i := range mp.Dist {
+				if mp.Index[i] >= 0 {
+					s.vm.InitFromProfile(i, series.LengthNormalize(mp.Dist[i], ld.L), mp.Index[i], ld.L)
+				}
 			}
 		}
 		s.vm.Seal()
@@ -239,6 +243,14 @@ func (s *discordSink) Consume(ld LengthData) {
 	for _, d := range ld.Profile.TopKDiscords(s.k) {
 		s.cands = append(s.cands, Discord{I: d.I, L: ld.L, Dist: d.Dist})
 	}
+}
+
+// addCandidates feeds stage-one candidates that were extracted without a
+// materialized profile — the fast coarse-to-fine plan (modes.go) resolves
+// most lengths through the lower-bound certificate and hands the exact
+// survivors here directly, bypassing the Profile-based Consume.
+func (s *discordSink) addCandidates(cands []Discord) {
+	s.cands = append(s.cands, cands...)
 }
 
 // Discords returns the final cross-length ranking: candidates sorted by

@@ -67,7 +67,7 @@ func TestProcessLengthSteadyStateZeroAlloc(t *testing.T) {
 	l := cfg.LMin
 	for step := 0; step < 4; step++ {
 		l++
-		if _, err := r.processLength(l); err != nil {
+		if _, _, err := r.processLength(l); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -78,7 +78,7 @@ func TestProcessLengthSteadyStateZeroAlloc(t *testing.T) {
 	var lr LengthResult
 	avg := testing.AllocsPerRun(10, func() {
 		var err error
-		lr, err = r.processLength(l)
+		lr, _, err = r.processLength(l)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -129,14 +129,14 @@ func BenchmarkProcessLengthSteady(b *testing.B) {
 	l := cfg.LMin
 	for step := 0; step < 4; step++ {
 		l++
-		if _, err := r.processLength(l); err != nil {
+		if _, _, err := r.processLength(l); err != nil {
 			b.Fatal(err)
 		}
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := r.processLength(l); err != nil {
+		if _, _, err := r.processLength(l); err != nil {
 			b.Fatal(err)
 		}
 	}

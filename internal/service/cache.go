@@ -45,9 +45,11 @@ func hashSeries(values []float64) [sha256.Size]byte {
 // per-length resolution and plan stats the result reports (and the two
 // whole-profile passes take different arithmetic paths); Discords changes
 // the query kind (it adds the discord payload and switches the engine to
-// the full-profile plan, which also changes the stats). Workers is
-// excluded — the fixed-grid contract makes output bit-identical at every
-// worker count.
+// the full-profile plan, which also changes the stats); LengthSkip,
+// LengthStride, RefineRadius, Strict and Carry32 select the coarse-to-fine
+// plan, which changes the plan stats always and the result payload in the
+// non-strict modes. Workers is excluded — the fixed-grid contract makes
+// output bit-identical at every worker count.
 func resultKey(seriesHash [sha256.Size]byte, lmin, lmax int, o valmod.Options) cacheKey {
 	o = normalizeOptions(o)
 	h := sha256.New()
@@ -58,16 +60,26 @@ func resultKey(seriesHash [sha256.Size]byte, lmin, lmax int, o valmod.Options) c
 		uint64(o.TopK), uint64(o.P), uint64(o.ExclusionFactor),
 		math.Float64bits(o.RecomputeFraction),
 		uint64(o.Discords),
+		uint64(o.LengthStride), uint64(o.RefineRadius),
 	} {
 		binary.LittleEndian.PutUint64(buf[:], v)
 		h.Write(buf[:])
 	}
-	flags := []byte{0, 0}
+	flags := []byte{0, 0, 0, 0, 0}
 	if o.DisablePruning {
 		flags[0] = 1
 	}
 	if o.DisableIncremental {
 		flags[1] = 1
+	}
+	if o.LengthSkip {
+		flags[2] = 1
+	}
+	if o.Strict {
+		flags[3] = 1
+	}
+	if o.Carry32 {
+		flags[4] = 1
 	}
 	h.Write(flags)
 	var out cacheKey

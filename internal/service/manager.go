@@ -93,6 +93,15 @@ type JobRequest struct {
 	// incremental-engine ablation); results are cached separately since
 	// the reported plan stats differ.
 	DisableIncremental bool `json:"disable_incremental,omitempty"`
+	// LengthSkip, LengthStride, RefineRadius, Strict and Carry32 select
+	// the coarse-to-fine plan on pairs+discords queries (see
+	// valmod.Options); each is part of the cache key since every one can
+	// change the reported result.
+	LengthSkip   bool `json:"length_skip,omitempty"`
+	LengthStride int  `json:"length_stride,omitempty"`
+	RefineRadius int  `json:"refine_radius,omitempty"`
+	Strict       bool `json:"strict,omitempty"`
+	Carry32      bool `json:"carry32,omitempty"`
 }
 
 // options maps the request's engine knobs onto valmod.Options.
@@ -105,6 +114,11 @@ func (r JobRequest) options() valmod.Options {
 		Discords:           r.Discords,
 		Workers:            r.Workers,
 		DisableIncremental: r.DisableIncremental,
+		LengthSkip:         r.LengthSkip,
+		LengthStride:       r.LengthStride,
+		RefineRadius:       r.RefineRadius,
+		Strict:             r.Strict,
+		Carry32:            r.Carry32,
 	}
 }
 
@@ -144,6 +158,9 @@ type PlanTotals struct {
 	SkippedLengths     int64 `json:"skipped_lengths"`
 	HeadSeeds          int64 `json:"head_seeds"`
 	HeadExtensions     int64 `json:"head_extensions"`
+	LBSkippedLengths   int64 `json:"lb_skipped_lengths"`
+	StrideScanned      int64 `json:"stride_scanned"`
+	RefinedLengths     int64 `json:"refined_lengths"`
 }
 
 // Manager owns the serving state: the shared base engine, the concurrency
@@ -165,6 +182,9 @@ type Manager struct {
 	planSkipped     atomic.Int64
 	planHeadSeeds   atomic.Int64
 	planHeadExtends atomic.Int64
+	planLBSkipped   atomic.Int64
+	planStrideScan  atomic.Int64
+	planRefined     atomic.Int64
 
 	mu          sync.Mutex
 	jobs        map[string]*Job
@@ -203,6 +223,9 @@ func (m *Manager) Stats() Stats {
 			SkippedLengths:     m.planSkipped.Load(),
 			HeadSeeds:          m.planHeadSeeds.Load(),
 			HeadExtensions:     m.planHeadExtends.Load(),
+			LBSkippedLengths:   m.planLBSkipped.Load(),
+			StrideScanned:      m.planStrideScan.Load(),
+			RefinedLengths:     m.planRefined.Load(),
 		},
 	}
 }
@@ -461,6 +484,9 @@ func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []floa
 	m.planSkipped.Add(int64(res.Plan.SkippedLengths))
 	m.planHeadSeeds.Add(int64(res.Plan.HeadSeeds))
 	m.planHeadExtends.Add(int64(res.Plan.HeadExtensions))
+	m.planLBSkipped.Add(int64(res.Plan.LBSkippedLengths))
+	m.planStrideScan.Add(int64(res.Plan.StrideScanned))
+	m.planRefined.Add(int64(res.Plan.RefinedLengths))
 	out := ResultOf(res)
 	m.cache.Put(key, out)
 	job.finish(out, nil)
