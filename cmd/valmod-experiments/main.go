@@ -40,6 +40,7 @@ import (
 	"github.com/seriesmining/valmod/internal/baseline/stomprange"
 	"github.com/seriesmining/valmod/internal/gen"
 	"github.com/seriesmining/valmod/internal/harness"
+	"github.com/seriesmining/valmod/internal/kernels"
 	"github.com/seriesmining/valmod/internal/lb"
 	"github.com/seriesmining/valmod/internal/mass"
 	"github.com/seriesmining/valmod/internal/series"
@@ -47,25 +48,31 @@ import (
 
 func main() {
 	var (
-		fig         = flag.String("fig", "all", "figure to regenerate: 1left|1right|2|3top|3bottom|all")
-		n           = flag.Int("n", 10000, "series length for Figure 3 (top)")
-		lmin        = flag.Int("lmin", 64, "minimum subsequence length for Figure 3")
-		timeout     = flag.Duration("timeout", 60*time.Second, "per-run budget for Figure 3 (paper: 24h)")
-		seed        = flag.Int64("seed", 1, "dataset seed")
-		sizes       = flag.String("sizes", "5000,10000,20000,30000,50000", "series sizes for Figure 3 (bottom)")
-		ranges      = flag.String("ranges", "10,20,50,100,200", "length ranges for Figure 3 (top)")
-		workers     = flag.Int("workers", 1, "goroutines for VALMOD's data-parallel phases in Figure 3 (default 1: the competitors are single-threaded, matching the paper's C implementations; output is identical at any setting)")
-		bench       = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
-		benchN      = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
-		out         = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
-		parity      = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series (best pair must agree), then the exhaustive, LB-skip and strict stride/refine pairs+discords plans (best pair AND top discord must agree); exit non-zero on any drift — the CI smoke check")
-		large       = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4; the n100k cases run the LB length-skip plan) to the -bench-json suite")
-		million     = flag.Bool("bench-million", false, "add the million-point case (ecg/pairs+discords/stride@n1m: LengthStride=20, RefineRadius=1, Carry32, one worker) to the -bench-json suite; expect hours on one core")
-		benchStream = flag.Bool("bench-stream", false, "run the streaming-append throughput suite (ecg fed in -stream-chunk point chunks, capped and uncapped) and emit machine-readable JSON")
-		streamN     = flag.Int("stream-n", 50000, "total points fed through the stream for -bench-stream")
-		streamChunk = flag.Int("stream-chunk", 1000, "chunk size for -bench-stream")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this file (pprof format)")
-		memProf     = flag.String("memprofile", "", "write a heap profile (after the workload) to this file (pprof format)")
+		fig          = flag.String("fig", "all", "figure to regenerate: 1left|1right|2|3top|3bottom|all")
+		n            = flag.Int("n", 10000, "series length for Figure 3 (top)")
+		lmin         = flag.Int("lmin", 64, "minimum subsequence length for Figure 3")
+		timeout      = flag.Duration("timeout", 60*time.Second, "per-run budget for Figure 3 (paper: 24h)")
+		seed         = flag.Int64("seed", 1, "dataset seed")
+		sizes        = flag.String("sizes", "5000,10000,20000,30000,50000", "series sizes for Figure 3 (bottom)")
+		ranges       = flag.String("ranges", "10,20,50,100,200", "length ranges for Figure 3 (top)")
+		workers      = flag.Int("workers", 1, "goroutines for VALMOD's data-parallel phases in Figure 3 (default 1: the competitors are single-threaded, matching the paper's C implementations; output is identical at any setting)")
+		bench        = flag.Bool("bench-json", false, "run the reproducible benchmark suite (pairs-only vs pairs+discords) and emit machine-readable JSON instead of figures")
+		benchN       = flag.Int("bench-n", 5000, "series length for the -bench-json suite")
+		out          = flag.String("bench-out", "", "write -bench-json output to this path (default stdout)")
+		parity       = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series (best pair must agree), then the exhaustive, LB-skip and strict stride/refine pairs+discords plans (best pair AND top discord must agree); exit non-zero on any drift — the CI smoke check")
+		large        = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4; the n100k cases run the LB length-skip plan) to the -bench-json suite")
+		million      = flag.Bool("bench-million", false, "add the million-point case (ecg/pairs+discords/stride@n1m: LengthStride=20, RefineRadius=1, Carry32, one worker) to the -bench-json suite; expect hours on one core")
+		benchKernels = flag.Bool("bench-kernels", false, "time every hot kernel at every available dispatch variant (generic/ilp/avx2) and report ns/op plus speedup over generic; with -bench-json the section embeds in the same report")
+		benchScaling = flag.Bool("bench-scaling", false, "run the fixed pairs+discords workload at workers 1/2/4, assert bit-identical anchors, and report the speedup ratios (exit non-zero on drift)")
+		scalingN     = flag.Int("scaling-n", 20000, "series length for the -bench-scaling workload")
+		benchCompare = flag.Bool("bench-compare", false, "compare two -bench-json reports given as positional args (old.json new.json): anchor drift always fails, timing regressions beyond -compare-tolerance fail unless -compare-anchors-only")
+		compareTol   = flag.Float64("compare-tolerance", 0.10, "fractional timing regression -bench-compare tolerates")
+		compareAnch  = flag.Bool("compare-anchors-only", false, "-bench-compare checks result anchors only (for baselines recorded on a different machine)")
+		benchStream  = flag.Bool("bench-stream", false, "run the streaming-append throughput suite (ecg fed in -stream-chunk point chunks, capped and uncapped) and emit machine-readable JSON")
+		streamN      = flag.Int("stream-n", 50000, "total points fed through the stream for -bench-stream")
+		streamChunk  = flag.Int("stream-chunk", 1000, "chunk size for -bench-stream")
+		cpuProf      = flag.String("cpuprofile", "", "write a CPU profile of the selected workload to this file (pprof format)")
+		memProf      = flag.String("memprofile", "", "write a heap profile (after the workload) to this file (pprof format)")
 	)
 	flag.Parse()
 	if *cpuProf != "" {
@@ -95,10 +102,27 @@ func main() {
 			}
 		}()
 	}
-	if *bench || *parity || *benchStream {
-		if *bench {
-			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large, *million); err != nil {
+	if *benchCompare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "valmod-experiments: -bench-compare needs exactly two args: old.json new.json")
+			os.Exit(1)
+		}
+		if err := runBenchCompare(flag.Arg(0), flag.Arg(1), *compareTol, *compareAnch); err != nil {
+			fmt.Fprintln(os.Stderr, "valmod-experiments: bench-compare:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *bench || *parity || *benchStream || *benchKernels || *benchScaling {
+		if *bench || (*benchKernels && !*benchScaling) {
+			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large, *million, *benchKernels, !*bench); err != nil {
 				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
+				os.Exit(1)
+			}
+		}
+		if *benchScaling {
+			if err := runBenchScaling(*out, *scalingN, *lmin, *seed); err != nil {
+				fmt.Fprintln(os.Stderr, "valmod-experiments: bench-scaling:", err)
 				os.Exit(1)
 			}
 		}
@@ -182,14 +206,19 @@ type benchCase struct {
 	TopDiscordLength   int     `json:"top_discord_length,omitempty"`
 }
 
-// benchReport is the whole -bench-json document.
+// benchReport is the whole -bench-json document. KernelVariant records the
+// dispatch tier the process selected (generic/ilp/avx2 — see
+// internal/kernels and the VALMOD_KERNELS override); Kernels is the
+// optional -bench-kernels section.
 type benchReport struct {
-	GoVersion string      `json:"go_version"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Seed      int64       `json:"seed"`
-	Cases     []benchCase `json:"cases"`
+	GoVersion     string        `json:"go_version"`
+	GOOS          string        `json:"goos"`
+	GOARCH        string        `json:"goarch"`
+	NumCPU        int           `json:"num_cpu"`
+	KernelVariant string        `json:"kernel_variant"`
+	Seed          int64         `json:"seed"`
+	Cases         []benchCase   `json:"cases,omitempty"`
+	Kernels       []kernelBench `json:"kernels,omitempty"`
 }
 
 // runBenchJSON times the fixed benchmark grid: for each dataset, one
@@ -197,14 +226,15 @@ type benchReport struct {
 // full-profile plan) over the same series and length range. Timings are
 // machine-dependent; the result anchors are not (fixed seed, fixed
 // grids), so baseline diffs separate "faster/slower" from "different".
-func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, million bool) error {
+func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, million, withKernels, kernelsOnly bool) error {
 	const rangeLen = 20
 	rep := benchReport{
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Seed:      seed,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+		NumCPU:        runtime.NumCPU(),
+		KernelVariant: kernels.Active().String(),
+		Seed:          seed,
 	}
 	runCase := func(ds string, n, discords, caseWorkers int, tag string, mod func(*valmod.Options)) error {
 		s, err := gen.Dataset(ds, n, seed)
@@ -288,14 +318,16 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, m
 	type benchSpec struct {
 		discords, workers int
 	}
-	specs := []benchSpec{{0, workers}, {5, workers}}
-	if workers != 4 {
-		specs = append(specs, benchSpec{5, 4})
-	}
-	for _, ds := range []string{"ecg", "astro"} {
-		for _, spec := range specs {
-			if err := runCase(ds, n, spec.discords, spec.workers, "", nil); err != nil {
-				return err
+	if !kernelsOnly {
+		specs := []benchSpec{{0, workers}, {5, workers}}
+		if workers != 4 {
+			specs = append(specs, benchSpec{5, 4})
+		}
+		for _, ds := range []string{"ecg", "astro"} {
+			for _, spec := range specs {
+				if err := runCase(ds, n, spec.discords, spec.workers, "", nil); err != nil {
+					return err
+				}
 			}
 		}
 	}
@@ -340,6 +372,13 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, m
 		}); err != nil {
 			return err
 		}
+	}
+	if withKernels {
+		ks, err := collectKernelBenches(seed)
+		if err != nil {
+			return err
+		}
+		rep.Kernels = ks
 	}
 	w := os.Stdout
 	if outPath != "" {

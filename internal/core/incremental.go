@@ -29,10 +29,27 @@ import (
 	"github.com/seriesmining/valmod/internal/stomp"
 )
 
-// diagBlockCells is the target cell count of one diagonal block — the
-// fixed grid the incremental pass is partitioned on. Like seedBlockRows it
-// depends only on the geometry (s, excl), never on the worker count.
+// diagBlockCells is the minimum target cell count of one diagonal block —
+// the fixed grid the incremental pass is partitioned on. Like
+// seedBlockRows it depends only on the geometry (s, excl), never on the
+// worker count.
 const diagBlockCells = 128 * 1024
+
+// diagBlockMinWidth is the minimum number of diagonals per block. The
+// kernel interleaves 4 (AVX2) or 8 (ILP) diagonals per sweep; a block
+// narrower than one interleave group degrades the whole scan to the
+// scalar single-diagonal path. Under the old cells-only rule that was
+// exactly what happened at scale: once a single diagonal holds ≥
+// diagBlockCells cells (n ≳ 130k near the exclusion zone), every block
+// came out one diagonal wide.
+const diagBlockMinWidth = 16
+
+// diagBlockShards is the target block count of a full-size pass: the cell
+// target grows with the workload (total/diagBlockShards) so huge inputs
+// don't fragment into hundreds of thousands of blocks, while staying small
+// enough that the dynamic scheduler can balance the triangle's uneven
+// diagonals across workers.
+const diagBlockShards = 2048
 
 // incState is the cross-length state of the incremental engine: the
 // diagonal head row QT(0, k) at length cur. Seeded with one FFT at the
@@ -51,15 +68,23 @@ type incState struct {
 // diagBlock is a contiguous range of diagonals [k0, k1).
 type diagBlock struct{ k0, k1 int }
 
-// diagBlocks partitions diagonals [excl, s) into blocks of roughly
-// diagBlockCells cells each (diagonal k has s−k cells). The boundaries are
-// a pure function of s and excl.
+// diagBlocks partitions diagonals [excl, s) into blocks of at least
+// diagBlockMinWidth diagonals and roughly target cells each (diagonal k
+// has s−k cells), where target scales with the total workload. The
+// boundaries are a pure function of s and excl; the block grid never
+// affects results (winner selection is a total-order maximum), only how
+// evenly the pass schedules.
 func diagBlocks(s, excl int) []diagBlock {
+	d := s - excl // diagonal count; total cells form the triangle d(d+1)/2
+	target := diagBlockCells
+	if t := d * (d + 1) / 2 / diagBlockShards; t > target {
+		target = t
+	}
 	var out []diagBlock
 	k0, acc := excl, 0
 	for k := excl; k < s; k++ {
 		acc += s - k
-		if acc >= diagBlockCells {
+		if acc >= target && k+1-k0 >= diagBlockMinWidth {
 			out = append(out, diagBlock{k0, k + 1})
 			k0, acc = k+1, 0
 		}
@@ -132,11 +157,17 @@ func (r *run) series32() []float32 {
 
 // ensureDiagScratch sizes the per-worker (corr, index) accumulators of the
 // diagonal pass. They are allocated once per run at the ℓmin anchor count
-// and resliced per length.
+// and resliced per length. Each allocation carries a 64-byte tail pad
+// (capacity-clamped off the visible slice) so the last cells of one
+// worker's accumulator never share a cache line with the first cells of
+// the next worker's — the hottest slots sit at the small-offset end, and
+// without the pad adjacent heap objects can false-share.
 func (r *run) ensureDiagScratch(workers int) {
 	for len(r.diagCorr) < workers {
-		r.diagCorr = append(r.diagCorr, make([]float64, r.sMin))
-		r.diagIdx = append(r.diagIdx, make([]int32, r.sMin))
+		c := make([]float64, r.sMin+8)
+		r.diagCorr = append(r.diagCorr, c[:r.sMin:r.sMin])
+		ix := make([]int32, r.sMin+16)
+		r.diagIdx = append(r.diagIdx, ix[:r.sMin:r.sMin])
 	}
 }
 
@@ -236,21 +267,7 @@ func (r *run) processLengthIncrementalAt(st *incState, l int) (LengthResult, *pr
 		if err := r.ctx.Err(); err != nil {
 			return lr, nil, err
 		}
-		// Merge the worker locals into slot 0. The total-order comparison
-		// makes the merged winner independent of which worker scanned
-		// which blocks.
-		base, bidx := r.diagCorr[0][:s], r.diagIdx[0][:s]
-		for w := 1; w < workers; w++ {
-			wc, wi := r.diagCorr[w][:s], r.diagIdx[w][:s]
-			for i := 0; i < s; i++ {
-				if wi[i] < 0 {
-					continue
-				}
-				if wc[i] > base[i] || (wc[i] == base[i] && wi[i] < bidx[i]) {
-					base[i], bidx[i] = wc[i], wi[i]
-				}
-			}
-		}
+		r.mergeDiagLocals(workers, s)
 	}
 
 	mp := profile.New(l, excl, s)
@@ -276,6 +293,58 @@ func (r *run) processLengthIncrementalAt(st *incState, l int) (LengthResult, *pr
 	lr.Stats.FullRecompute = true
 	lr.Stats.Incremental = true
 	return lr, mp, nil
+}
+
+// mergeDiagShard is the per-slot fold used by both merge shapes below.
+const mergeShardAlign = 16 // slots; ×8 bytes = two cache lines, no false sharing on base
+
+// mergeParallelMinSlots gates the parallel merge: below it the fold is a
+// few microseconds of linear memory and two goroutine handoffs would cost
+// more than they save.
+const mergeParallelMinSlots = 1 << 15
+
+// mergeDiagLocals folds the worker-local accumulators into slot 0 under
+// the total order (corr desc, neighbor asc), which makes the merged winner
+// independent of which worker scanned which blocks AND of how this fold is
+// sharded. For large anchor counts the fold runs sharded: each goroutine
+// owns a disjoint slot range aligned to mergeShardAlign and folds every
+// worker's local over it in one streaming pass — unlike a tree reduction
+// there are no inter-round barriers and each base cell is written by
+// exactly one goroutine.
+func (r *run) mergeDiagLocals(workers, s int) {
+	base, bidx := r.diagCorr[0][:s], r.diagIdx[0][:s]
+	fold := func(lo, hi int) {
+		for w := 1; w < workers; w++ {
+			wc, wi := r.diagCorr[w][:s], r.diagIdx[w][:s]
+			for i := lo; i < hi; i++ {
+				if wi[i] < 0 {
+					continue
+				}
+				if wc[i] > base[i] || (wc[i] == base[i] && wi[i] < bidx[i]) {
+					base[i], bidx[i] = wc[i], wi[i]
+				}
+			}
+		}
+	}
+	if s < mergeParallelMinSlots || workers < 2 {
+		fold(0, s)
+		return
+	}
+	shard := (s + workers - 1) / workers
+	shard = (shard + mergeShardAlign - 1) &^ (mergeShardAlign - 1)
+	var wg sync.WaitGroup
+	for lo := 0; lo < s; lo += shard {
+		hi := lo + shard
+		if hi > s {
+			hi = s
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fold(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // The diagonal scan itself lives in kernels.DiagScan (shared, interleaved,

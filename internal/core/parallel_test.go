@@ -163,6 +163,84 @@ func TestWorkersBitIdenticalDegenerate(t *testing.T) {
 	}
 }
 
+// TestDiagBlocksGeometry: the block grid must cover [excl, s) exactly once
+// in order, honor the minimum interleave width (so the vectorized
+// multi-diagonal kernels engage even when a single diagonal exceeds the
+// cell target), and keep the block count bounded as the workload grows.
+func TestDiagBlocksGeometry(t *testing.T) {
+	for _, tc := range []struct{ s, excl int }{
+		{100, 5}, {1000, 16}, {5000, 32}, {200_000, 64}, {1_000_001, 25},
+	} {
+		blocks := diagBlocks(tc.s, tc.excl)
+		k := tc.excl
+		for bi, b := range blocks {
+			if b.k0 != k || b.k1 <= b.k0 || b.k1 > tc.s {
+				t.Fatalf("s=%d excl=%d: block %d = [%d,%d) breaks coverage at k=%d", tc.s, tc.excl, bi, b.k0, b.k1, k)
+			}
+			if bi < len(blocks)-1 && b.k1-b.k0 < diagBlockMinWidth {
+				t.Fatalf("s=%d excl=%d: block %d only %d diagonals wide", tc.s, tc.excl, bi, b.k1-b.k0)
+			}
+			k = b.k1
+		}
+		if len(blocks) > 0 && k != tc.s {
+			t.Fatalf("s=%d excl=%d: grid ends at %d", tc.s, tc.excl, k)
+		}
+		// The scaled cell target keeps the grid close to diagBlockShards
+		// blocks no matter how large the triangle gets.
+		if len(blocks) > diagBlockShards+1 {
+			t.Fatalf("s=%d excl=%d: %d blocks, want ≤ %d", tc.s, tc.excl, len(blocks), diagBlockShards+1)
+		}
+	}
+	if b := diagBlocks(10, 10); b != nil {
+		t.Fatalf("empty range produced %v", b)
+	}
+}
+
+// TestMergeDiagLocals: the sharded parallel fold must produce exactly the
+// serial fold's winners, including on exact-tie slots where the smaller
+// neighbor index wins, at sizes both below and above the parallel gate.
+func TestMergeDiagLocals(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, s := range []int{100, mergeParallelMinSlots + 1001} {
+		const workers = 4
+		r := &run{sMin: s}
+		r.ensureDiagScratch(workers)
+		for w := 0; w < workers; w++ {
+			for i := 0; i < s; i++ {
+				if rng.Intn(5) == 0 {
+					r.diagCorr[w][i] = math.Inf(-1)
+					r.diagIdx[w][i] = -1
+					continue
+				}
+				r.diagCorr[w][i] = float64(rng.Intn(8)) / 8 // coarse values force exact ties
+				r.diagIdx[w][i] = int32(rng.Intn(64))
+			}
+		}
+		wantC := make([]float64, s)
+		wantI := make([]int32, s)
+		copy(wantC, r.diagCorr[0])
+		copy(wantI, r.diagIdx[0])
+		for w := 1; w < workers; w++ {
+			for i := 0; i < s; i++ {
+				wc, wi := r.diagCorr[w][i], r.diagIdx[w][i]
+				if wi < 0 {
+					continue
+				}
+				if wc > wantC[i] || (wc == wantC[i] && wi < wantI[i]) {
+					wantC[i], wantI[i] = wc, wi
+				}
+			}
+		}
+		r.mergeDiagLocals(workers, s)
+		for i := 0; i < s; i++ {
+			if r.diagCorr[0][i] != wantC[i] || r.diagIdx[0][i] != wantI[i] {
+				t.Fatalf("s=%d slot %d: merged (%v,%d), want (%v,%d)",
+					s, i, r.diagCorr[0][i], r.diagIdx[0][i], wantC[i], wantI[i])
+			}
+		}
+	}
+}
+
 // TestProgressCallback: OnLength fires once per length, in order, with
 // results matching the returned PerLength slice.
 func TestProgressCallback(t *testing.T) {

@@ -1,0 +1,416 @@
+//go:build amd64
+
+package kernels
+
+// The AVX2 dispatch tier, amd64 side: thin Go orchestration around the
+// assembly routines in kernels_amd64.s. Division of labor:
+//
+//   - Pure arithmetic (RowNext, ExtendRow, the correlation sweeps) runs
+//     entirely in four-lane assembly; remainders shorter than a vector
+//     run the identical scalar expressions here.
+//   - Winner selection stays in Go. The argmax sweep returns only the
+//     maximum correlation; if it beats the running best, a scalar re-scan
+//     recomputes the identical per-lane expression and keeps the first
+//     cell comparing equal — the cell the sequential scan would keep.
+//   - The diagonal stepper uses a stop protocol: assembly advances the
+//     four interleaved chains cell by cell and returns at the first cell
+//     where any lane's correlation reaches either endpoint's current
+//     winner (a conservative superset of the cells that actually update,
+//     since slot values only ever grow); Go applies the exact sequential
+//     compare-update there and re-enters at the next cell. The assembly
+//     never writes winner state, so the total order is enforced in
+//     exactly one place.
+//
+// None of the assembly uses FMA: fused multiply-adds round differently
+// from the separate multiply and add every other tier performs, and
+// bit-identity across tiers is a hard contract.
+
+// rowNextBlocks processes p = hi … lo (inclusive, descending, hi−lo+1 a
+// multiple of 4): r[p+1] = r[p] + tail·a[p] − head·b[p], four lanes at a
+// time, all group loads before group stores.
+//
+//go:noescape
+func rowNextBlocks(r, a, b *float64, tail, head float64, lo, hi int)
+
+// axpyBlocks adds a·x[j] to dst[j] for j ∈ [0, n), n a multiple of 4.
+//
+//go:noescape
+func axpyBlocks(dst, x *float64, a float64, n int)
+
+// corrMax returns max over j ∈ [0, n) of (r[j]·invFl − muA·m[j])·invA·v[j];
+// n must be a positive multiple of 4.
+//
+//go:noescape
+func corrMax(r, m, v *float64, invFl, muA, invA float64, n int) float64
+
+// corrBuf stores (cb[y]·invFl − mb[y]·muJ)·vb[y]·invJ into dst[y] for
+// y ∈ [0, n), n a multiple of 4.
+//
+//go:noescape
+func corrBuf(dst, cb, mb, vb *float64, invFl, muJ, invJ float64, n int)
+
+// diagSteps4 advances the four interleaved diagonal chains qt[0..3] over
+// cells i ∈ [i0, n): qt += ta[i]·w[i+x] − tb[i−1]·u[i+x] per lane x, then
+// c = (qt·invFl − mi[i]·mj[i+x])·vi[i]·vj[i+x]. It returns at the first i
+// where any lane satisfies c ≥ ci[i] or c ≥ cj[i+x] (qt already advanced
+// to that cell, lanes stored back), or n if no cell triggers.
+//
+//go:noescape
+func diagSteps4(qt, w, u, ta, tb, mi, vi, mj, vj, ci, cj *float64, invFl float64, i0, n int) int
+
+// diagSteps32x is diagSteps4 with w, u, ta, tb stored in float32 and
+// widened at load; the chains and compares run in float64.
+//
+//go:noescape
+func diagSteps32x(qt *float64, w, u, ta, tb *float32, mi, vi, mj, vj, ci, cj *float64, invFl float64, i0, n int) int
+
+func rowNextAVX2(row, t []float64, i, l, s int) {
+	if s < 2 {
+		return
+	}
+	tail := t[i+l-1]
+	head := t[i-1]
+	a := t[l : l+s-1]
+	b := t[0 : s-1]
+	r := row[0:s]
+	lo := (s - 1) % 4
+	if s-1-lo > 0 {
+		rowNextBlocks(&r[0], &a[0], &b[0], tail, head, lo, s-2)
+	}
+	for p := lo - 1; p >= 0; p-- {
+		r[p+1] = r[p] + tail*a[p] - head*b[p]
+	}
+}
+
+// extendRowAVX2 runs the l−cur pending steps as one-step vector passes.
+// ExtendRow's contract makes this bit-identical to the fused form: each
+// cell's additions arrive in ascending step order either way, only the
+// pass structure differs.
+func extendRowAVX2(row, t []float64, i, cur, l int) {
+	n := len(t)
+	for p := cur; p < l; p++ {
+		e := n - p // the one-step pass at step p updates cells j < n−p
+		if e <= 0 {
+			break
+		}
+		dst := row[0:e]
+		x := t[p:n]
+		a := t[i+p]
+		nv := e &^ 3
+		if nv > 0 {
+			axpyBlocks(&dst[0], &x[0], a, nv)
+		}
+		for j := nv; j < e; j++ {
+			dst[j] += a * x[j]
+		}
+	}
+}
+
+func argmaxCorrRangeAVX2(row, means, invs []float64, j0, j1 int, invFl, muA, invA float64, bestCorr float64, bestJ int) (float64, int) {
+	if j0 < 0 {
+		j0 = 0
+	}
+	if j1 <= j0 {
+		return bestCorr, bestJ
+	}
+	r := row[j0:j1]
+	m := means[j0:j1]
+	m = m[:len(r)]
+	v := invs[j0:j1]
+	v = v[:len(r)]
+	n := len(r)
+	x := 0
+	if nv := n &^ 3; nv > 0 {
+		bm := corrMax(&r[0], &m[0], &v[0], invFl, muA, invA, nv)
+		if bm > bestCorr {
+			for y := 0; y < nv; y++ {
+				c := (r[y]*invFl - muA*m[y]) * invA * v[y]
+				if c == bm {
+					bestCorr, bestJ = c, j0+y
+					break
+				}
+			}
+		}
+		x = nv
+	}
+	for ; x < n; x++ {
+		c := (r[x]*invFl - muA*m[x]) * invA * v[x]
+		if c > bestCorr {
+			bestCorr, bestJ = c, j0+x
+		}
+	}
+	return bestCorr, bestJ
+}
+
+func colScanAVX2(col, means, invs []float64, iEnd int, invFl, muJ, invJ float64, corr []float64, idx []int32, j int32, bestCorr float64, bestIdx int32) (float64, int32) {
+	if iEnd <= 0 {
+		return bestCorr, bestIdx
+	}
+	cl := col[0:iEnd]
+	m := means[0:iEnd]
+	m = m[:len(cl)]
+	v := invs[0:iEnd]
+	v = v[:len(cl)]
+	cr := corr[0:iEnd]
+	cr = cr[:len(cl)]
+	ix := idx[0:iEnd]
+	ix = ix[:len(cl)]
+	var buf [argmaxBlock]float64
+	i := 0
+	for ; i+argmaxBlock <= len(cl); i += argmaxBlock {
+		corrBuf(&buf[0], &cl[i], &m[i], &v[i], invFl, muJ, invJ, argmaxBlock)
+		crb := cr[i : i+argmaxBlock]
+		ixb := ix[i : i+argmaxBlock]
+		ixb = ixb[:len(crb)]
+		for y := range buf {
+			c := buf[y]
+			if c > crb[y] || (c == crb[y] && j < ixb[y]) {
+				crb[y], ixb[y] = c, j
+			}
+			if c > bestCorr {
+				bestCorr, bestIdx = c, int32(i+y)
+			}
+		}
+	}
+	for ; i < len(cl); i++ {
+		c := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
+		if c > cr[i] || (c == cr[i] && j < ix[i]) {
+			cr[i], ix[i] = c, j
+		}
+		if c > bestCorr {
+			bestCorr, bestIdx = c, int32(i)
+		}
+	}
+	return bestCorr, bestIdx
+}
+
+func diagScanAVX2(t, head, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {
+	invFl := 1 / float64(l)
+	k := k0
+	for ; k+4 <= k1; k += 4 {
+		diagQuadAVX2(t, head, means, invs, k, l, s, invFl, corr, idx)
+	}
+	for ; k < k1; k++ {
+		diagOne(t, means, invs, head[k], k, l, s, invFl, corr, idx)
+	}
+}
+
+// diagQuadAVX2 mirrors diagQuad: identical head-row handling and tails,
+// with the common range driven through the diagSteps4 stop protocol.
+func diagQuadAVX2(t, head, means, invs []float64, k, l, s int, invFl float64, corr []float64, idx []int32) {
+	var qt [4]float64
+	qt[0], qt[1], qt[2], qt[3] = head[k], head[k+1], head[k+2], head[k+3]
+	c0 := (qt[0]*invFl - means[0]*means[k]) * invs[0] * invs[k]
+	c1 := (qt[1]*invFl - means[0]*means[k+1]) * invs[0] * invs[k+1]
+	c2 := (qt[2]*invFl - means[0]*means[k+2]) * invs[0] * invs[k+2]
+	c3 := (qt[3]*invFl - means[0]*means[k+3]) * invs[0] * invs[k+3]
+	bc, bj := c0, int32(k)
+	if c1 > bc {
+		bc, bj = c1, int32(k+1)
+	}
+	if c2 > bc {
+		bc, bj = c2, int32(k+2)
+	}
+	if c3 > bc {
+		bc, bj = c3, int32(k+3)
+	}
+	update(corr, idx, 0, bc, bj)
+	update(corr, idx, k, c0, 0)
+	update(corr, idx, k+1, c1, 0)
+	update(corr, idx, k+2, c2, 0)
+	update(corr, idx, k+3, c3, 0)
+
+	m := s - k - 4
+	if m >= 1 {
+		w := t[k+l-1:]
+		u := t[k-1:]
+		ta := t[l-1:]
+		mj := means[k:]
+		vj := invs[k:]
+		cj := corr[k:]
+		n := m + 1 // common cells are i ∈ [1, m]
+		i := 1
+		for i < n {
+			hit := diagSteps4(&qt[0], &w[0], &u[0], &ta[0], &t[0],
+				&means[0], &invs[0], &mj[0], &vj[0], &corr[0], &cj[0],
+				invFl, i, n)
+			if hit >= n {
+				break
+			}
+			i = hit
+			// Recompute the lane correlations from the carried chains —
+			// scalar, same expression, bit-identical to the vector lanes —
+			// and apply the exact sequential compare-updates of diagQuad.
+			m0, v0 := means[i], invs[i]
+			c0 := (qt[0]*invFl - m0*mj[i]) * v0 * vj[i]
+			c1 := (qt[1]*invFl - m0*mj[i+1]) * v0 * vj[i+1]
+			c2 := (qt[2]*invFl - m0*mj[i+2]) * v0 * vj[i+2]
+			c3 := (qt[3]*invFl - m0*mj[i+3]) * v0 * vj[i+3]
+			j := int32(i + k)
+			if c0 >= corr[i] {
+				if c0 > corr[i] || j < idx[i] {
+					corr[i], idx[i] = c0, j
+				}
+			}
+			if c1 >= corr[i] {
+				if c1 > corr[i] || j+1 < idx[i] {
+					corr[i], idx[i] = c1, j+1
+				}
+			}
+			if c2 >= corr[i] {
+				if c2 > corr[i] || j+2 < idx[i] {
+					corr[i], idx[i] = c2, j+2
+				}
+			}
+			if c3 >= corr[i] {
+				if c3 > corr[i] || j+3 < idx[i] {
+					corr[i], idx[i] = c3, j+3
+				}
+			}
+			a := int32(i)
+			if c0 >= corr[k+i] {
+				if c0 > corr[k+i] || a < idx[k+i] {
+					corr[k+i], idx[k+i] = c0, a
+				}
+			}
+			if c1 >= corr[k+i+1] {
+				if c1 > corr[k+i+1] || a < idx[k+i+1] {
+					corr[k+i+1], idx[k+i+1] = c1, a
+				}
+			}
+			if c2 >= corr[k+i+2] {
+				if c2 > corr[k+i+2] || a < idx[k+i+2] {
+					corr[k+i+2], idx[k+i+2] = c2, a
+				}
+			}
+			if c3 >= corr[k+i+3] {
+				if c3 > corr[k+i+3] || a < idx[k+i+3] {
+					corr[k+i+3], idx[k+i+3] = c3, a
+				}
+			}
+			i++
+		}
+	}
+
+	if m < 0 {
+		m = 0
+	}
+	diagOneTail(t, means, invs, qt[0], k, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt[1], k+1, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt[2], k+2, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt[3], k+3, l, s, invFl, corr, idx, m)
+}
+
+func diagScan32AVX2(t, head []float32, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {
+	invFl := 1 / float64(l)
+	k := k0
+	for ; k+4 <= k1; k += 4 {
+		diagQuad32AVX2(t, head, means, invs, k, l, s, invFl, corr, idx)
+	}
+	for ; k < k1; k++ {
+		diagOneTail32(t, means, invs, headCorr32(head, means, invs, k, invFl, corr, idx), k, l, s, invFl, corr, idx, 0)
+	}
+}
+
+// diagQuad32AVX2 mirrors diagQuad32 with the common range driven through
+// the widening-load stop protocol.
+func diagQuad32AVX2(t, head []float32, means, invs []float64, k, l, s int, invFl float64, corr []float64, idx []int32) {
+	var qt [4]float64
+	qt[0], qt[1], qt[2], qt[3] = float64(head[k]), float64(head[k+1]), float64(head[k+2]), float64(head[k+3])
+	c0 := (qt[0]*invFl - means[0]*means[k]) * invs[0] * invs[k]
+	c1 := (qt[1]*invFl - means[0]*means[k+1]) * invs[0] * invs[k+1]
+	c2 := (qt[2]*invFl - means[0]*means[k+2]) * invs[0] * invs[k+2]
+	c3 := (qt[3]*invFl - means[0]*means[k+3]) * invs[0] * invs[k+3]
+	bc, bj := c0, int32(k)
+	if c1 > bc {
+		bc, bj = c1, int32(k+1)
+	}
+	if c2 > bc {
+		bc, bj = c2, int32(k+2)
+	}
+	if c3 > bc {
+		bc, bj = c3, int32(k+3)
+	}
+	update(corr, idx, 0, bc, bj)
+	update(corr, idx, k, c0, 0)
+	update(corr, idx, k+1, c1, 0)
+	update(corr, idx, k+2, c2, 0)
+	update(corr, idx, k+3, c3, 0)
+
+	m := s - k - 4
+	if m >= 1 {
+		w := t[k+l-1:]
+		u := t[k-1:]
+		ta := t[l-1:]
+		mj := means[k:]
+		vj := invs[k:]
+		cj := corr[k:]
+		n := m + 1
+		i := 1
+		for i < n {
+			hit := diagSteps32x(&qt[0], &w[0], &u[0], &ta[0], &t[0],
+				&means[0], &invs[0], &mj[0], &vj[0], &corr[0], &cj[0],
+				invFl, i, n)
+			if hit >= n {
+				break
+			}
+			i = hit
+			m0, v0 := means[i], invs[i]
+			c0 := (qt[0]*invFl - m0*mj[i]) * v0 * vj[i]
+			c1 := (qt[1]*invFl - m0*mj[i+1]) * v0 * vj[i+1]
+			c2 := (qt[2]*invFl - m0*mj[i+2]) * v0 * vj[i+2]
+			c3 := (qt[3]*invFl - m0*mj[i+3]) * v0 * vj[i+3]
+			j := int32(i + k)
+			if c0 >= corr[i] {
+				if c0 > corr[i] || j < idx[i] {
+					corr[i], idx[i] = c0, j
+				}
+			}
+			if c1 >= corr[i] {
+				if c1 > corr[i] || j+1 < idx[i] {
+					corr[i], idx[i] = c1, j+1
+				}
+			}
+			if c2 >= corr[i] {
+				if c2 > corr[i] || j+2 < idx[i] {
+					corr[i], idx[i] = c2, j+2
+				}
+			}
+			if c3 >= corr[i] {
+				if c3 > corr[i] || j+3 < idx[i] {
+					corr[i], idx[i] = c3, j+3
+				}
+			}
+			a := int32(i)
+			if c0 >= corr[k+i] {
+				if c0 > corr[k+i] || a < idx[k+i] {
+					corr[k+i], idx[k+i] = c0, a
+				}
+			}
+			if c1 >= corr[k+i+1] {
+				if c1 > corr[k+i+1] || a < idx[k+i+1] {
+					corr[k+i+1], idx[k+i+1] = c1, a
+				}
+			}
+			if c2 >= corr[k+i+2] {
+				if c2 > corr[k+i+2] || a < idx[k+i+2] {
+					corr[k+i+2], idx[k+i+2] = c2, a
+				}
+			}
+			if c3 >= corr[k+i+3] {
+				if c3 > corr[k+i+3] || a < idx[k+i+3] {
+					corr[k+i+3], idx[k+i+3] = c3, a
+				}
+			}
+			i++
+		}
+	}
+
+	if m < 0 {
+		m = 0
+	}
+	diagOneTail32(t, means, invs, qt[0], k, l, s, invFl, corr, idx, m)
+	diagOneTail32(t, means, invs, qt[1], k+1, l, s, invFl, corr, idx, m)
+	diagOneTail32(t, means, invs, qt[2], k+2, l, s, invFl, corr, idx, m)
+	diagOneTail32(t, means, invs, qt[3], k+3, l, s, invFl, corr, idx, m)
+}

@@ -1,0 +1,35 @@
+//go:build amd64
+
+package kernels
+
+// cpuid executes the CPUID instruction for (leaf, subleaf).
+func cpuid(leaf, subleaf uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads XCR0, the extended control register that reports which
+// vector register state the OS saves on context switch.
+func xgetbv0() (eax, edx uint32)
+
+// hasAVX2 reports whether this CPU and OS support AVX2: the CPU must
+// advertise AVX (leaf 1 ECX bit 28) and AVX2 (leaf 7 EBX bit 5), and the
+// OS must save XMM+YMM state (OSXSAVE set, XCR0 bits 1–2).
+var hasAVX2 = detectAVX2()
+
+func detectAVX2() bool {
+	maxLeaf, _, _, _ := cpuid(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	xcr0, _ := xgetbv0()
+	if xcr0&0x6 != 0x6 { // XMM (bit 1) and YMM (bit 2) state enabled
+		return false
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}

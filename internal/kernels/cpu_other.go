@@ -1,0 +1,6 @@
+//go:build !amd64
+
+package kernels
+
+// Non-amd64 builds have no assembly tier.
+const hasAVX2 = false

@@ -1,0 +1,93 @@
+package kernels
+
+import (
+	"fmt"
+	"os"
+)
+
+// Variant identifies one dispatch tier of the kernel layer.
+type Variant int
+
+const (
+	// Generic is the portable 4-way-unrolled tier (the PR 5 kernels).
+	Generic Variant = iota
+	// ILP is the restructured portable tier: wider interleaves and
+	// vectorizable sweeps with no cross-iteration dependencies.
+	ILP
+	// AVX2 is the amd64 assembly tier (4 float64 lanes, no FMA).
+	AVX2
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Generic:
+		return "generic"
+	case ILP:
+		return "ilp"
+	case AVX2:
+		return "avx2"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// active is the tier every kernel entry point dispatches on. It is chosen
+// once at init (highest available tier, overridable via VALMOD_KERNELS)
+// and only tests change it afterwards; all tiers are bit-identical, so a
+// racy read could at worst pick a stale — equally correct — tier.
+var active = defaultVariant()
+
+// Active reports the tier kernels currently dispatch to.
+func Active() Variant { return active }
+
+// Available lists the tiers this process can run, in ascending order.
+// Parity tests iterate it so every reachable dispatch path is certified.
+func Available() []Variant {
+	vs := []Variant{Generic, ILP}
+	if hasAVX2 {
+		vs = append(vs, AVX2)
+	}
+	return vs
+}
+
+// SetVariant forces the dispatch tier. It fails if the tier needs CPU
+// features this machine lacks. Intended for tests and benchmarks; the
+// production override is the VALMOD_KERNELS environment variable.
+func SetVariant(v Variant) error {
+	switch v {
+	case Generic, ILP:
+	case AVX2:
+		if !hasAVX2 {
+			return fmt.Errorf("kernels: avx2 variant not available on this CPU")
+		}
+	default:
+		return fmt.Errorf("kernels: unknown variant %d", int(v))
+	}
+	active = v
+	return nil
+}
+
+// defaultVariant picks the startup tier: VALMOD_KERNELS=generic|ilp|avx2
+// if set (falling back with a warning when the hardware can't honor it),
+// otherwise the highest tier the CPU supports.
+func defaultVariant() Variant {
+	switch env := os.Getenv("VALMOD_KERNELS"); env {
+	case "":
+	case "generic":
+		return Generic
+	case "ilp":
+		return ILP
+	case "avx2":
+		if hasAVX2 {
+			return AVX2
+		}
+		fmt.Fprintln(os.Stderr, "valmod: VALMOD_KERNELS=avx2 but CPU lacks AVX2; using ilp")
+		return ILP
+	default:
+		fmt.Fprintf(os.Stderr, "valmod: unknown VALMOD_KERNELS=%q (want generic|ilp|avx2); using default\n", env)
+	}
+	if hasAVX2 {
+		return AVX2
+	}
+	return ILP
+}

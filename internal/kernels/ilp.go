@@ -1,0 +1,448 @@
+package kernels
+
+import "math"
+
+// The ILP dispatch tier: portable restructurings of the generic kernels
+// with wider interleaves and inner bodies free of cross-iteration
+// dependencies, so superscalar cores (and the compiler's auto-vectorizer,
+// where it engages) can overlap the arithmetic. Per-lane evaluation
+// orders are identical to the generic tier; only independent work is
+// reordered, which the total-order winner rule renders bit-identical.
+
+// rowNextILP delegates to the generic 4-way body. An 8-way unroll was
+// measured ~15% SLOWER here: the lanes carry no dependency either way
+// (each output reads only the pre-update left neighbor), so the
+// out-of-order core already overlaps the generic groups, and the wider
+// unroll just adds register pressure and code-size without removing a
+// single stall. Kernels whose generic bodies DO carry a serial chain
+// (ExtendRow's per-cell accumulators) are where the tier earns its keep.
+func rowNextILP(row, t []float64, i, l, s int) {
+	rowNextGeneric(row, t, i, l, s)
+}
+
+// argmaxBlock is the block width of the split argmax scans: big enough to
+// amortize the rare winner re-scan, small enough to stay in L1.
+const argmaxBlock = 64
+
+// argmaxCorrRangeILP splits the fused compare-update scan into a pure
+// correlation sweep (four independent running lane maxima, no
+// cross-iteration dependency on the winner) plus a rare scalar re-scan of
+// any block whose maximum beats the running best. The re-scan recomputes
+// each correlation with the identical expression, so the first cell
+// comparing equal to the block maximum is exactly the cell the sequential
+// scan would have kept: bit-identical winner, branch-light common path.
+func argmaxCorrRangeILP(row, means, invs []float64, j0, j1 int, invFl, muA, invA float64, bestCorr float64, bestJ int) (float64, int) {
+	if j0 < 0 {
+		j0 = 0
+	}
+	if j1 <= j0 {
+		return bestCorr, bestJ
+	}
+	r := row[j0:j1]
+	m := means[j0:j1]
+	m = m[:len(r)]
+	v := invs[j0:j1]
+	v = v[:len(r)]
+	n := len(r)
+	x := 0
+	for ; x+argmaxBlock <= n; x += argmaxBlock {
+		rb := r[x : x+argmaxBlock]
+		mb := m[x : x+argmaxBlock]
+		mb = mb[:len(rb)]
+		vb := v[x : x+argmaxBlock]
+		vb = vb[:len(rb)]
+		neg := math.Inf(-1)
+		l0, l1, l2, l3 := neg, neg, neg, neg
+		for y := 0; y+4 <= argmaxBlock; y += 4 {
+			c0 := (rb[y]*invFl - muA*mb[y]) * invA * vb[y]
+			c1 := (rb[y+1]*invFl - muA*mb[y+1]) * invA * vb[y+1]
+			c2 := (rb[y+2]*invFl - muA*mb[y+2]) * invA * vb[y+2]
+			c3 := (rb[y+3]*invFl - muA*mb[y+3]) * invA * vb[y+3]
+			if c0 > l0 {
+				l0 = c0
+			}
+			if c1 > l1 {
+				l1 = c1
+			}
+			if c2 > l2 {
+				l2 = c2
+			}
+			if c3 > l3 {
+				l3 = c3
+			}
+		}
+		if l1 > l0 {
+			l0 = l1
+		}
+		if l2 > l0 {
+			l0 = l2
+		}
+		if l3 > l0 {
+			l0 = l3
+		}
+		if l0 > bestCorr {
+			// Rare path: this block improves the best. The first cell
+			// whose recomputed correlation equals the block maximum is
+			// the one the sequential scan keeps.
+			for y := 0; y < argmaxBlock; y++ {
+				c := (rb[y]*invFl - muA*mb[y]) * invA * vb[y]
+				if c == l0 {
+					bestCorr, bestJ = c, j0+x+y
+					break
+				}
+			}
+		}
+	}
+	for ; x < n; x++ {
+		c := (r[x]*invFl - muA*m[x]) * invA * v[x]
+		if c > bestCorr {
+			bestCorr, bestJ = c, j0+x
+		}
+	}
+	return bestCorr, bestJ
+}
+
+// extendRowILP interleaves the per-cell accumulation chains of four
+// adjacent cells. The generic body is one serial float64 chain per cell —
+// latency-bound — while four chains overlap; each cell still accumulates
+// its steps in ascending order, so every chain is bit-identical.
+func extendRowILP(row, t []float64, i, cur, l int) {
+	n := len(t)
+	if cur >= l {
+		return
+	}
+	if l-cur == 1 {
+		extendRowOne(row, t, i, cur, n)
+		return
+	}
+	q := t[i+cur : i+l]
+	full := n - l + 1
+	if full < 0 {
+		full = 0
+	}
+	j := 0
+	for ; j+4 <= full; j += 4 {
+		base := t[j+cur:] // base[x+d] = t[(j+d)+cur+x], cell j+d's step x
+		v0 := row[j]
+		v1 := row[j+1]
+		v2 := row[j+2]
+		v3 := row[j+3]
+		for x, qv := range q {
+			v0 += qv * base[x]
+			v1 += qv * base[x+1]
+			v2 += qv * base[x+2]
+			v3 += qv * base[x+3]
+		}
+		row[j] = v0
+		row[j+1] = v1
+		row[j+2] = v2
+		row[j+3] = v3
+	}
+	for ; j < full; j++ {
+		w := t[j+cur : j+l]
+		v := row[j]
+		for x, qv := range q {
+			v += qv * w[x]
+		}
+		row[j] = v
+	}
+	extendRowRagged(row, t, full, cur, n, q)
+}
+
+// colScanILP widens the fused generic loop to eight cells per iteration:
+// all eight correlations are computed up front (eight independent FP
+// chains in flight) before any winner compare runs. The compares consume
+// the identical values in the identical ascending order, so the result is
+// bit-identical to the generic loop. (An earlier buffered two-pass form —
+// block sweep into a scratch array, then a winner pass — measured slower
+// than the fused loop: the second sweep re-pays the loads and the store
+// buffer stalls on the scratch writes.)
+func colScanILP(col, means, invs []float64, iEnd int, invFl, muJ, invJ float64, corr []float64, idx []int32, j int32, bestCorr float64, bestIdx int32) (float64, int32) {
+	if iEnd <= 0 {
+		return bestCorr, bestIdx
+	}
+	cl := col[0:iEnd]
+	m := means[0:iEnd]
+	m = m[:len(cl)]
+	v := invs[0:iEnd]
+	v = v[:len(cl)]
+	cr := corr[0:iEnd]
+	cr = cr[:len(cl)]
+	ix := idx[0:iEnd]
+	ix = ix[:len(cl)]
+	i := 0
+	for ; i+8 <= len(cl); i += 8 {
+		c0 := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
+		c1 := (cl[i+1]*invFl - m[i+1]*muJ) * v[i+1] * invJ
+		c2 := (cl[i+2]*invFl - m[i+2]*muJ) * v[i+2] * invJ
+		c3 := (cl[i+3]*invFl - m[i+3]*muJ) * v[i+3] * invJ
+		c4 := (cl[i+4]*invFl - m[i+4]*muJ) * v[i+4] * invJ
+		c5 := (cl[i+5]*invFl - m[i+5]*muJ) * v[i+5] * invJ
+		c6 := (cl[i+6]*invFl - m[i+6]*muJ) * v[i+6] * invJ
+		c7 := (cl[i+7]*invFl - m[i+7]*muJ) * v[i+7] * invJ
+		if c0 > cr[i] || (c0 == cr[i] && j < ix[i]) {
+			cr[i], ix[i] = c0, j
+		}
+		if c1 > cr[i+1] || (c1 == cr[i+1] && j < ix[i+1]) {
+			cr[i+1], ix[i+1] = c1, j
+		}
+		if c2 > cr[i+2] || (c2 == cr[i+2] && j < ix[i+2]) {
+			cr[i+2], ix[i+2] = c2, j
+		}
+		if c3 > cr[i+3] || (c3 == cr[i+3] && j < ix[i+3]) {
+			cr[i+3], ix[i+3] = c3, j
+		}
+		if c4 > cr[i+4] || (c4 == cr[i+4] && j < ix[i+4]) {
+			cr[i+4], ix[i+4] = c4, j
+		}
+		if c5 > cr[i+5] || (c5 == cr[i+5] && j < ix[i+5]) {
+			cr[i+5], ix[i+5] = c5, j
+		}
+		if c6 > cr[i+6] || (c6 == cr[i+6] && j < ix[i+6]) {
+			cr[i+6], ix[i+6] = c6, j
+		}
+		if c7 > cr[i+7] || (c7 == cr[i+7] && j < ix[i+7]) {
+			cr[i+7], ix[i+7] = c7, j
+		}
+		// Sequential compare-updates in ascending i keep the first maximum
+		// (= smallest neighbor on exact ties), matching the total order.
+		if c0 > bestCorr {
+			bestCorr, bestIdx = c0, int32(i)
+		}
+		if c1 > bestCorr {
+			bestCorr, bestIdx = c1, int32(i+1)
+		}
+		if c2 > bestCorr {
+			bestCorr, bestIdx = c2, int32(i+2)
+		}
+		if c3 > bestCorr {
+			bestCorr, bestIdx = c3, int32(i+3)
+		}
+		if c4 > bestCorr {
+			bestCorr, bestIdx = c4, int32(i+4)
+		}
+		if c5 > bestCorr {
+			bestCorr, bestIdx = c5, int32(i+5)
+		}
+		if c6 > bestCorr {
+			bestCorr, bestIdx = c6, int32(i+6)
+		}
+		if c7 > bestCorr {
+			bestCorr, bestIdx = c7, int32(i+7)
+		}
+	}
+	for ; i < len(cl); i++ {
+		c := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
+		if c > cr[i] || (c == cr[i] && j < ix[i]) {
+			cr[i], ix[i] = c, j
+		}
+		if c > bestCorr {
+			bestCorr, bestIdx = c, int32(i)
+		}
+	}
+	return bestCorr, bestIdx
+}
+
+// diagScanILP widens the diagonal interleave to eight chains per sweep.
+func diagScanILP(t, head, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {
+	invFl := 1 / float64(l)
+	k := k0
+	for ; k+8 <= k1; k += 8 {
+		diagOct(t, head, means, invs, k, l, s, invFl, corr, idx)
+	}
+	for ; k+4 <= k1; k += 4 {
+		diagQuad(t, head, means, invs, k, l, s, invFl, corr, idx)
+	}
+	for ; k < k1; k++ {
+		diagOne(t, means, invs, head[k], k, l, s, invFl, corr, idx)
+	}
+}
+
+// diagOct interleaves diagonals k…k+7: eight independent dot-product
+// chains advance together over their common cell range — enough
+// independent multiplies to saturate the FP units — then each diagonal's
+// leftover tail finishes on the scalar path from its carried chain value.
+func diagOct(t, head, means, invs []float64, k, l, s int, invFl float64, corr []float64, idx []int32) {
+	qt0, qt1, qt2, qt3 := head[k], head[k+1], head[k+2], head[k+3]
+	qt4, qt5, qt6, qt7 := head[k+4], head[k+5], head[k+6], head[k+7]
+	m0h, v0h := means[0], invs[0]
+	c0 := (qt0*invFl - m0h*means[k]) * v0h * invs[k]
+	c1 := (qt1*invFl - m0h*means[k+1]) * v0h * invs[k+1]
+	c2 := (qt2*invFl - m0h*means[k+2]) * v0h * invs[k+2]
+	c3 := (qt3*invFl - m0h*means[k+3]) * v0h * invs[k+3]
+	c4 := (qt4*invFl - m0h*means[k+4]) * v0h * invs[k+4]
+	c5 := (qt5*invFl - m0h*means[k+5]) * v0h * invs[k+5]
+	c6 := (qt6*invFl - m0h*means[k+6]) * v0h * invs[k+6]
+	c7 := (qt7*invFl - m0h*means[k+7]) * v0h * invs[k+7]
+	bc, bj := c0, int32(k)
+	if c1 > bc {
+		bc, bj = c1, int32(k+1)
+	}
+	if c2 > bc {
+		bc, bj = c2, int32(k+2)
+	}
+	if c3 > bc {
+		bc, bj = c3, int32(k+3)
+	}
+	if c4 > bc {
+		bc, bj = c4, int32(k+4)
+	}
+	if c5 > bc {
+		bc, bj = c5, int32(k+5)
+	}
+	if c6 > bc {
+		bc, bj = c6, int32(k+6)
+	}
+	if c7 > bc {
+		bc, bj = c7, int32(k+7)
+	}
+	update(corr, idx, 0, bc, bj)
+	update(corr, idx, k, c0, 0)
+	update(corr, idx, k+1, c1, 0)
+	update(corr, idx, k+2, c2, 0)
+	update(corr, idx, k+3, c3, 0)
+	update(corr, idx, k+4, c4, 0)
+	update(corr, idx, k+5, c5, 0)
+	update(corr, idx, k+6, c6, 0)
+	update(corr, idx, k+7, c7, 0)
+
+	m := s - k - 8
+	{
+		w := t[k+l-1 : s+l-1]
+		u := t[k-1 : s-1]
+		u = u[:len(w)]
+		ta := t[l-1 : l-1+s-k]
+		ta = ta[:len(w)]
+		tb := t[0 : s-k]
+		tb = tb[:len(w)]
+		mi := means[0 : s-k]
+		mi = mi[:len(w)]
+		vi := invs[0 : s-k]
+		vi = vi[:len(w)]
+		mj := means[k:s]
+		mj = mj[:len(w)]
+		vj := invs[k:s]
+		vj = vj[:len(w)]
+		ci := corr[0 : s-k]
+		ci = ci[:len(w)]
+		ii := idx[0 : s-k]
+		ii = ii[:len(w)]
+		cj := corr[k:s]
+		cj = cj[:len(w)]
+		ij := idx[k:s]
+		ij = ij[:len(w)]
+		for i := 1; i+8 <= len(w); i++ {
+			ha, hb := ta[i], tb[i-1]
+			qt0 += ha*w[i] - hb*u[i]
+			qt1 += ha*w[i+1] - hb*u[i+1]
+			qt2 += ha*w[i+2] - hb*u[i+2]
+			qt3 += ha*w[i+3] - hb*u[i+3]
+			qt4 += ha*w[i+4] - hb*u[i+4]
+			qt5 += ha*w[i+5] - hb*u[i+5]
+			qt6 += ha*w[i+6] - hb*u[i+6]
+			qt7 += ha*w[i+7] - hb*u[i+7]
+			m0, v0 := mi[i], vi[i]
+			c0 := (qt0*invFl - m0*mj[i]) * v0 * vj[i]
+			c1 := (qt1*invFl - m0*mj[i+1]) * v0 * vj[i+1]
+			c2 := (qt2*invFl - m0*mj[i+2]) * v0 * vj[i+2]
+			c3 := (qt3*invFl - m0*mj[i+3]) * v0 * vj[i+3]
+			c4 := (qt4*invFl - m0*mj[i+4]) * v0 * vj[i+4]
+			c5 := (qt5*invFl - m0*mj[i+5]) * v0 * vj[i+5]
+			c6 := (qt6*invFl - m0*mj[i+6]) * v0 * vj[i+6]
+			c7 := (qt7*invFl - m0*mj[i+7]) * v0 * vj[i+7]
+			j := int32(i + k)
+			if c0 >= ci[i] {
+				if c0 > ci[i] || j < ii[i] {
+					ci[i], ii[i] = c0, j
+				}
+			}
+			if c1 >= ci[i] {
+				if c1 > ci[i] || j+1 < ii[i] {
+					ci[i], ii[i] = c1, j+1
+				}
+			}
+			if c2 >= ci[i] {
+				if c2 > ci[i] || j+2 < ii[i] {
+					ci[i], ii[i] = c2, j+2
+				}
+			}
+			if c3 >= ci[i] {
+				if c3 > ci[i] || j+3 < ii[i] {
+					ci[i], ii[i] = c3, j+3
+				}
+			}
+			if c4 >= ci[i] {
+				if c4 > ci[i] || j+4 < ii[i] {
+					ci[i], ii[i] = c4, j+4
+				}
+			}
+			if c5 >= ci[i] {
+				if c5 > ci[i] || j+5 < ii[i] {
+					ci[i], ii[i] = c5, j+5
+				}
+			}
+			if c6 >= ci[i] {
+				if c6 > ci[i] || j+6 < ii[i] {
+					ci[i], ii[i] = c6, j+6
+				}
+			}
+			if c7 >= ci[i] {
+				if c7 > ci[i] || j+7 < ii[i] {
+					ci[i], ii[i] = c7, j+7
+				}
+			}
+			a := int32(i)
+			if c0 >= cj[i] {
+				if c0 > cj[i] || a < ij[i] {
+					cj[i], ij[i] = c0, a
+				}
+			}
+			if c1 >= cj[i+1] {
+				if c1 > cj[i+1] || a < ij[i+1] {
+					cj[i+1], ij[i+1] = c1, a
+				}
+			}
+			if c2 >= cj[i+2] {
+				if c2 > cj[i+2] || a < ij[i+2] {
+					cj[i+2], ij[i+2] = c2, a
+				}
+			}
+			if c3 >= cj[i+3] {
+				if c3 > cj[i+3] || a < ij[i+3] {
+					cj[i+3], ij[i+3] = c3, a
+				}
+			}
+			if c4 >= cj[i+4] {
+				if c4 > cj[i+4] || a < ij[i+4] {
+					cj[i+4], ij[i+4] = c4, a
+				}
+			}
+			if c5 >= cj[i+5] {
+				if c5 > cj[i+5] || a < ij[i+5] {
+					cj[i+5], ij[i+5] = c5, a
+				}
+			}
+			if c6 >= cj[i+6] {
+				if c6 > cj[i+6] || a < ij[i+6] {
+					cj[i+6], ij[i+6] = c6, a
+				}
+			}
+			if c7 >= cj[i+7] {
+				if c7 > cj[i+7] || a < ij[i+7] {
+					cj[i+7], ij[i+7] = c7, a
+				}
+			}
+		}
+	}
+
+	if m < 0 {
+		m = 0
+	}
+	diagOneTail(t, means, invs, qt0, k, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt1, k+1, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt2, k+2, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt3, k+3, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt4, k+4, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt5, k+5, l, s, invFl, corr, idx, m)
+	diagOneTail(t, means, invs, qt6, k+6, l, s, invFl, corr, idx, m)
+}

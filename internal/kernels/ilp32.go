@@ -1,0 +1,105 @@
+package kernels
+
+// The ILP tier of the float32 carry kernels: the same restructurings as
+// ilp.go — wider interleaves, independent chains — with loads widened at
+// use and one float64→float32 rounding per store, exactly as the generic
+// bodies round.
+
+// rowNext32ILP is rowNext32Generic with a 4-way unroll (the generic body
+// is not unrolled at all). Each output cell depends only on the
+// pre-update value of its left neighbor, so the four lanes of a group are
+// independent; descending group order keeps later groups reading cells no
+// earlier group wrote.
+func rowNext32ILP(row, t []float32, i, l, s int) {
+	if s < 2 {
+		return
+	}
+	tail := float64(t[i+l-1])
+	head := float64(t[i-1])
+	a := t[l : l+s-1]
+	b := t[0 : s-1]
+	r := row[0:s]
+	p := s - 2
+	for ; p >= 3; p -= 4 {
+		r0 := float32(float64(r[p]) + tail*float64(a[p]) - head*float64(b[p]))
+		r1 := float32(float64(r[p-1]) + tail*float64(a[p-1]) - head*float64(b[p-1]))
+		r2 := float32(float64(r[p-2]) + tail*float64(a[p-2]) - head*float64(b[p-2]))
+		r3 := float32(float64(r[p-3]) + tail*float64(a[p-3]) - head*float64(b[p-3]))
+		r[p+1] = r0
+		r[p] = r1
+		r[p-1] = r2
+		r[p-2] = r3
+	}
+	for ; p >= 0; p-- {
+		r[p+1] = float32(float64(r[p]) + tail*float64(a[p]) - head*float64(b[p]))
+	}
+}
+
+// extendRow32ILP interleaves the per-cell float64 accumulation chains of
+// eight adjacent cells; each cell still accumulates its steps in
+// ascending order and rounds once at the store, so every chain is
+// bit-identical to the generic body's. Eight chains (vs the four the
+// float64 body uses) pay for the widening converts: each chain issues a
+// convert per step, and the deeper interleave keeps the convert unit's
+// latency off the critical path.
+func extendRow32ILP(row, t []float32, i, cur, l int) {
+	n := len(t)
+	if cur >= l {
+		return
+	}
+	q := t[i+cur : i+l]
+	full := n - l + 1
+	if full < 0 {
+		full = 0
+	}
+	j := 0
+	for ; j+8 <= full; j += 8 {
+		base := t[j+cur:] // base[x+d] = t[(j+d)+cur+x], cell j+d's step x
+		v0 := float64(row[j])
+		v1 := float64(row[j+1])
+		v2 := float64(row[j+2])
+		v3 := float64(row[j+3])
+		v4 := float64(row[j+4])
+		v5 := float64(row[j+5])
+		v6 := float64(row[j+6])
+		v7 := float64(row[j+7])
+		for x, qv := range q {
+			qw := float64(qv)
+			v0 += qw * float64(base[x])
+			v1 += qw * float64(base[x+1])
+			v2 += qw * float64(base[x+2])
+			v3 += qw * float64(base[x+3])
+			v4 += qw * float64(base[x+4])
+			v5 += qw * float64(base[x+5])
+			v6 += qw * float64(base[x+6])
+			v7 += qw * float64(base[x+7])
+		}
+		row[j] = float32(v0)
+		row[j+1] = float32(v1)
+		row[j+2] = float32(v2)
+		row[j+3] = float32(v3)
+		row[j+4] = float32(v4)
+		row[j+5] = float32(v5)
+		row[j+6] = float32(v6)
+		row[j+7] = float32(v7)
+	}
+	for ; j < full; j++ {
+		w := t[j+cur : j+l]
+		v := float64(row[j])
+		for x, qv := range q {
+			v += float64(qv) * float64(w[x])
+		}
+		row[j] = float32(v)
+	}
+	extendRow32Ragged(row, t, full, cur, n, q)
+}
+
+// diagScan32ILP delegates to the generic four-chain interleave. An
+// eight-chain variant mirroring diagOct was measured ~10% SLOWER than the
+// quad here: every float32 load costs a widening convert, so eight chains
+// double the live values per iteration past what the register file holds
+// and the spills eat the interleave's gain. The float64 oct keeps its win
+// because its loads need no converts.
+func diagScan32ILP(t, head []float32, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {
+	diagScan32Generic(t, head, means, invs, k0, k1, l, s, corr, idx)
+}

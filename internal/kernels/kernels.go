@@ -1,32 +1,56 @@
 // Package kernels holds the engine's arithmetic hot loops — the STOMP row
 // recurrence, the branch-free argmax-correlation scans, the fused
-// multi-length dot-product extensions, and the diagonal pass of the
-// incremental cross-length engine — consolidated from the per-file copies
-// that used to live in internal/core, internal/stomp and the hot-row path.
+// multi-length dot-product extensions, the streaming column scan, and the
+// diagonal pass of the incremental cross-length engine — consolidated from
+// the per-file copies that used to live in internal/core, internal/stomp
+// and the hot-row path.
 //
 // Every routine here is paired with a naive reference implementation in
 // ref.go that spells out the defining loop, and TestKernelParity asserts
-// the two are bit-identical (including σ=0 degenerate windows and
-// exclusion zones clipped at the series edges). Because every plan of the
-// engine — pruned, from-scratch full, incremental — calls the same
-// kernels, arithmetic identity across plans is enforced by construction:
-// there is exactly one expression for each recurrence and one for the
-// division-free correlation compare of each path.
+// every dispatch tier is bit-identical to it (including σ=0 degenerate
+// windows and exclusion zones clipped at the series edges). Because every
+// plan of the engine — pruned, from-scratch full, incremental, streaming —
+// calls the same kernels, arithmetic identity across plans is enforced by
+// construction: there is exactly one expression for each recurrence and
+// one for the division-free correlation compare of each path.
+//
+// # Dispatch tiers
+//
+// Each kernel dispatches to one of up to three implementations, selected
+// once at process start (see dispatch.go; VALMOD_KERNELS forces a tier):
+//
+//   - generic — the portable 4-way-unrolled loops (the PR 5 kernels), the
+//     shape the references certify first.
+//   - ilp — restructured portable variants: wider diagonal interleave
+//     (8 chains), interleaved per-cell accumulation chains in the fused
+//     extensions, and the argmax scans split into a branch-light
+//     correlation sweep plus a rare winner re-scan.
+//   - avx2 — amd64 assembly (runtime CPUID-detected), four float64 lanes
+//     per vector. The assembly never uses FMA: fused multiply-adds round
+//     differently from the separate multiply and add the portable tiers
+//     perform, and bit-identity across tiers is a hard contract.
+//
+// Every tier must produce bit-identical outputs. For pure arithmetic
+// (RowNext, ExtendRow) that holds lane-by-lane because each output cell's
+// operations run in the same order in every tier. For the winner scans
+// (ArgmaxCorr, ColScan, DiagScan) it holds because winner selection is a
+// maximum under the strict total order (correlation descending, neighbor
+// offset ascending on exact ties), which is associative and commutative —
+// any tier may reorder candidate visits, but every reordering reduces to
+// the same argmax. AdvanceDot is the one kernel with a single serial
+// floating-point accumulation chain and no slack to reorder, so every
+// tier shares the one scalar loop.
 //
 // # Optimization rules the kernels follow
 //
 //   - Exclusion zones are handled by splitting each per-cell scan into the
 //     two branch-free j-ranges [0, lo] and [hi, s) instead of testing
 //     every cell against the zone.
-//   - Loops are 4-way unrolled with slice bounds hoisted into sub-slices,
-//     so the compiler can eliminate per-cell bounds checks.
-//   - The diagonal pass interleaves four diagonals per sweep: each
+//   - Loops are unrolled with slice bounds hoisted into sub-slices, so the
+//     compiler can eliminate per-cell bounds checks.
+//   - The diagonal pass interleaves independent diagonals per sweep: each
 //     diagonal's dot product is a serial dependency chain, so interleaving
-//     four independent chains is what actually feeds the FMA units. The
-//     per-slot winner selection is a max under the strict total order
-//     (corr descending, neighbor offset ascending on exact ties), which is
-//     associative and commutative — so reordering cell visits across
-//     diagonals cannot change any result bit.
+//     independent chains is what actually feeds the multiply units.
 //   - Cross-length extensions carry all pending length steps through each
 //     cell in one pass (ascending step order per cell, so the float adds
 //     associate exactly as the one-pass-per-length loops they replace).
@@ -38,30 +62,13 @@ package kernels
 // overwritten (descending order). row[0] is left untouched — the caller
 // owns the j=0 boundary (an O(l) dot product or a symmetry lookup).
 func RowNext(row, t []float64, i, l, s int) {
-	if s < 2 {
-		return
-	}
-	tail := t[i+l-1]
-	head := t[i-1]
-	// Shift to p = j−1: row[p+1] = row[p] + tail·a[p] − head·b[p] with
-	// a[p] = t[p+l], b[p] = t[p]. Hoisted sub-slices of exact length s−1
-	// let the compiler drop the per-cell bounds checks.
-	a := t[l : l+s-1]
-	b := t[0 : s-1]
-	r := row[0:s]
-	p := s - 2
-	for ; p >= 3; p -= 4 {
-		r0 := r[p] + tail*a[p] - head*b[p]
-		r1 := r[p-1] + tail*a[p-1] - head*b[p-1]
-		r2 := r[p-2] + tail*a[p-2] - head*b[p-2]
-		r3 := r[p-3] + tail*a[p-3] - head*b[p-3]
-		r[p+1] = r0
-		r[p] = r1
-		r[p-1] = r2
-		r[p-2] = r3
-	}
-	for ; p >= 0; p-- {
-		r[p+1] = r[p] + tail*a[p] - head*b[p]
+	switch active {
+	case AVX2:
+		rowNextAVX2(row, t, i, l, s)
+	case ILP:
+		rowNextILP(row, t, i, l, s)
+	default:
+		rowNextGeneric(row, t, i, l, s)
 	}
 }
 
@@ -73,57 +80,24 @@ func RowNext(row, t []float64, i, l, s int) {
 // — the ONE correlation expression of the engine, shared bit-for-bit with
 // DiagScan (invFl = 1/ℓ, computed once per scan) — under strict
 // improvement (the first maximum in ascending j wins — exactly the tie
-// behavior of the scalar scan it replaces). A degenerate candidate
-// (invs[j] = 0) contributes corr 0, the √(2l)-distance convention.
-// bestCorr/bestJ seed the running maximum (pass −Inf, −1 to start fresh).
-// The two half-open ranges are the branch-free split of the exclusion
-// zone: callers pass e1 = min(lo+1, s) clamped at 0 and j2 = max(hi, 0)
-// clamped at s.
+// behavior of the scalar scan it replaces; an incoming bestCorr/bestJ seed
+// survives exact ties). A degenerate candidate (invs[j] = 0) contributes
+// corr 0, the √(2l)-distance convention. bestCorr/bestJ seed the running
+// maximum (pass −Inf, −1 to start fresh). The two half-open ranges are the
+// branch-free split of the exclusion zone: callers pass e1 = min(lo+1, s)
+// clamped at 0 and j2 = max(hi, 0) clamped at s.
 func ArgmaxCorr(row, means, invs []float64, e1, j2, s int, invFl, muA, invA float64, bestCorr float64, bestJ int) (float64, int) {
-	bestCorr, bestJ = argmaxCorrRange(row, means, invs, 0, e1, invFl, muA, invA, bestCorr, bestJ)
-	return argmaxCorrRange(row, means, invs, j2, s, invFl, muA, invA, bestCorr, bestJ)
-}
-
-// argmaxCorrRange scans one contiguous range [j0, j1), 4-way unrolled.
-func argmaxCorrRange(row, means, invs []float64, j0, j1 int, invFl, muA, invA float64, bestCorr float64, bestJ int) (float64, int) {
-	if j0 < 0 {
-		j0 = 0
+	switch active {
+	case AVX2:
+		bestCorr, bestJ = argmaxCorrRangeAVX2(row, means, invs, 0, e1, invFl, muA, invA, bestCorr, bestJ)
+		return argmaxCorrRangeAVX2(row, means, invs, j2, s, invFl, muA, invA, bestCorr, bestJ)
+	case ILP:
+		bestCorr, bestJ = argmaxCorrRangeILP(row, means, invs, 0, e1, invFl, muA, invA, bestCorr, bestJ)
+		return argmaxCorrRangeILP(row, means, invs, j2, s, invFl, muA, invA, bestCorr, bestJ)
+	default:
+		bestCorr, bestJ = argmaxCorrRange(row, means, invs, 0, e1, invFl, muA, invA, bestCorr, bestJ)
+		return argmaxCorrRange(row, means, invs, j2, s, invFl, muA, invA, bestCorr, bestJ)
 	}
-	if j1 <= j0 {
-		return bestCorr, bestJ
-	}
-	r := row[j0:j1]
-	m := means[j0:j1]
-	m = m[:len(r)] // equal-length facts for BCE (panics on violated preconditions)
-	v := invs[j0:j1]
-	v = v[:len(r)]
-	n := len(r)
-	x := 0
-	for ; x+4 <= n; x += 4 {
-		c0 := (r[x]*invFl - muA*m[x]) * invA * v[x]
-		c1 := (r[x+1]*invFl - muA*m[x+1]) * invA * v[x+1]
-		c2 := (r[x+2]*invFl - muA*m[x+2]) * invA * v[x+2]
-		c3 := (r[x+3]*invFl - muA*m[x+3]) * invA * v[x+3]
-		if c0 > bestCorr {
-			bestCorr, bestJ = c0, j0+x
-		}
-		if c1 > bestCorr {
-			bestCorr, bestJ = c1, j0+x+1
-		}
-		if c2 > bestCorr {
-			bestCorr, bestJ = c2, j0+x+2
-		}
-		if c3 > bestCorr {
-			bestCorr, bestJ = c3, j0+x+3
-		}
-	}
-	for ; x < n; x++ {
-		c := (r[x]*invFl - muA*m[x]) * invA * v[x]
-		if c > bestCorr {
-			bestCorr, bestJ = c, j0+x
-		}
-	}
-	return bestCorr, bestJ
 }
 
 // ExtendRow advances anchor i's dot-product row across every pending
@@ -134,62 +108,25 @@ func argmaxCorrRange(row, means, invs []float64, j0, j1 int, invFl, muA, invA fl
 // fused. Cells at j ≥ n−cur receive no step and are not touched. row must
 // have at least n−cur valid cells when cur < l.
 func ExtendRow(row, t []float64, i, cur, l int) {
-	n := len(t)
-	if cur >= l {
-		return
-	}
-	if l-cur == 1 {
-		extendRowOne(row, t, i, cur, n)
-		return
-	}
-	q := t[i+cur : i+l] // q[x] = t[i+cur+x], the anchor-side step factors
-	full := n - l + 1   // cells [0, full) take every step
-	if full < 0 {
-		full = 0
-	}
-	for j := 0; j < full; j++ {
-		w := t[j+cur : j+l]
-		v := row[j]
-		for x, qv := range q {
-			v += qv * w[x]
-		}
-		row[j] = v
-	}
-	for j := full; j < n-cur; j++ {
-		w := t[j+cur : n] // len = n−j−cur = the steps this cell still takes
-		v := row[j]
-		for x, wv := range w {
-			v += q[x] * wv
-		}
-		row[j] = v
-	}
-}
-
-// extendRowOne is the single-step fast path of ExtendRow (the common case
-// on consecutive lengths), 4-way unrolled.
-func extendRowOne(row, t []float64, i, cur, n int) {
-	tail := t[i+cur]
-	w := t[cur:n] // w[j] = t[j+cur], j < n−cur
-	r := row[0 : n-cur]
-	j := 0
-	for ; j+4 <= len(r); j += 4 {
-		r0 := r[j] + tail*w[j]
-		r1 := r[j+1] + tail*w[j+1]
-		r2 := r[j+2] + tail*w[j+2]
-		r3 := r[j+3] + tail*w[j+3]
-		r[j] = r0
-		r[j+1] = r1
-		r[j+2] = r2
-		r[j+3] = r3
-	}
-	for ; j < len(r); j++ {
-		r[j] += tail * w[j]
+	switch active {
+	case AVX2:
+		extendRowAVX2(row, t, i, cur, l)
+	case ILP:
+		extendRowILP(row, t, i, cur, l)
+	default:
+		extendRowGeneric(row, t, i, cur, l)
 	}
 }
 
 // AdvanceDot adds Σ t[i+p]·t[j+p] for p ∈ [p0, p1) to qt, in ascending p
 // order — the fused form of per-length lb.Entry.Advance calls, carrying a
 // retained entry's dot product across every pending length step at once.
+//
+// AdvanceDot is one serial floating-point accumulation chain: any
+// reassociation (lane splitting, pairwise trees) changes the rounding, so
+// every dispatch tier shares this scalar loop. The callers amortize it —
+// one call per retained entry, ranges of a few steps — so it is never the
+// pass bottleneck the vectorized kernels are.
 func AdvanceDot(qt float64, t []float64, i, j, p0, p1 int) float64 {
 	if p1 <= p0 {
 		return qt
@@ -220,63 +157,14 @@ func AdvanceDot(qt float64, t []float64, i, j, p0, p1 int) float64 {
 // exactly as the total order demands. A degenerate endpoint (invs or invJ
 // zero) contributes correlation 0, the √(2l)-distance convention.
 func ColScan(col, means, invs []float64, iEnd int, invFl, muJ, invJ float64, corr []float64, idx []int32, j int32, bestCorr float64, bestIdx int32) (float64, int32) {
-	if iEnd <= 0 {
-		return bestCorr, bestIdx
+	switch active {
+	case AVX2:
+		return colScanAVX2(col, means, invs, iEnd, invFl, muJ, invJ, corr, idx, j, bestCorr, bestIdx)
+	case ILP:
+		return colScanILP(col, means, invs, iEnd, invFl, muJ, invJ, corr, idx, j, bestCorr, bestIdx)
+	default:
+		return colScanGeneric(col, means, invs, iEnd, invFl, muJ, invJ, corr, idx, j, bestCorr, bestIdx)
 	}
-	// Hoisted equal-length sub-slices let the compiler drop the per-cell
-	// bounds checks (they panic on violated preconditions, as intended).
-	cl := col[0:iEnd]
-	m := means[0:iEnd]
-	m = m[:len(cl)]
-	v := invs[0:iEnd]
-	v = v[:len(cl)]
-	cr := corr[0:iEnd]
-	cr = cr[:len(cl)]
-	ix := idx[0:iEnd]
-	ix = ix[:len(cl)]
-	i := 0
-	for ; i+4 <= len(cl); i += 4 {
-		c0 := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
-		c1 := (cl[i+1]*invFl - m[i+1]*muJ) * v[i+1] * invJ
-		c2 := (cl[i+2]*invFl - m[i+2]*muJ) * v[i+2] * invJ
-		c3 := (cl[i+3]*invFl - m[i+3]*muJ) * v[i+3] * invJ
-		if c0 > cr[i] || (c0 == cr[i] && j < ix[i]) {
-			cr[i], ix[i] = c0, j
-		}
-		if c1 > cr[i+1] || (c1 == cr[i+1] && j < ix[i+1]) {
-			cr[i+1], ix[i+1] = c1, j
-		}
-		if c2 > cr[i+2] || (c2 == cr[i+2] && j < ix[i+2]) {
-			cr[i+2], ix[i+2] = c2, j
-		}
-		if c3 > cr[i+3] || (c3 == cr[i+3] && j < ix[i+3]) {
-			cr[i+3], ix[i+3] = c3, j
-		}
-		// Sequential compare-updates in ascending i keep the first maximum
-		// (= smallest neighbor on exact ties), matching the total order.
-		if c0 > bestCorr {
-			bestCorr, bestIdx = c0, int32(i)
-		}
-		if c1 > bestCorr {
-			bestCorr, bestIdx = c1, int32(i+1)
-		}
-		if c2 > bestCorr {
-			bestCorr, bestIdx = c2, int32(i+2)
-		}
-		if c3 > bestCorr {
-			bestCorr, bestIdx = c3, int32(i+3)
-		}
-	}
-	for ; i < len(cl); i++ {
-		c := (cl[i]*invFl - m[i]*muJ) * v[i] * invJ
-		if c > cr[i] || (c == cr[i] && j < ix[i]) {
-			cr[i], ix[i] = c, j
-		}
-		if c > bestCorr {
-			bestCorr, bestIdx = c, int32(i)
-		}
-	}
-	return bestCorr, bestIdx
 }
 
 // DiagScan streams diagonals [k0, k1) of the length-l self-join: each
@@ -288,17 +176,18 @@ func ColScan(col, means, invs []float64, iEnd int, invFl, muJ, invJ float64, cor
 //
 // updates the running best of both endpoints in corr/idx under the strict
 // total order (corr descending, neighbor offset ascending on exact ties).
-// Four diagonals are interleaved per sweep — four independent recurrence
-// chains — which the total order renders bit-identical to the one-diagonal
-// reference. The moment slices must be at length l; s = len(t) − l + 1.
+// Independent diagonals are interleaved per sweep — independent recurrence
+// chains — which the total order renders bit-identical to the
+// one-diagonal reference regardless of the interleave width each dispatch
+// tier picks. The moment slices must be at length l; s = len(t) − l + 1.
 func DiagScan(t, head, means, invs []float64, k0, k1, l, s int, corr []float64, idx []int32) {
-	invFl := 1 / float64(l)
-	k := k0
-	for ; k+4 <= k1; k += 4 {
-		diagQuad(t, head, means, invs, k, l, s, invFl, corr, idx)
-	}
-	for ; k < k1; k++ {
-		diagOne(t, means, invs, head[k], k, l, s, invFl, corr, idx)
+	switch active {
+	case AVX2:
+		diagScanAVX2(t, head, means, invs, k0, k1, l, s, corr, idx)
+	case ILP:
+		diagScanILP(t, head, means, invs, k0, k1, l, s, corr, idx)
+	default:
+		diagScanGeneric(t, head, means, invs, k0, k1, l, s, corr, idx)
 	}
 }
 
@@ -307,186 +196,5 @@ func DiagScan(t, head, means, invs []float64, k0, k1, l, s int, corr []float64, 
 func update(corr []float64, idx []int32, i int, c float64, j int32) {
 	if c > corr[i] || (c == corr[i] && j < idx[i]) {
 		corr[i], idx[i] = c, j
-	}
-}
-
-// diagOne streams one whole diagonal k from its head cell qt = QT(0, k).
-func diagOne(t, means, invs []float64, qt float64, k, l, s int, invFl float64, corr []float64, idx []int32) {
-	c := (qt*invFl - means[0]*means[k]) * invs[0] * invs[k]
-	update(corr, idx, 0, c, int32(k))
-	update(corr, idx, k, c, 0)
-	diagOneTail(t, means, invs, qt, k, l, s, invFl, corr, idx, 0)
-}
-
-// diagQuad interleaves diagonals k, k+1, k+2, k+3: the four dot-product
-// chains advance together over their common cell range, then each
-// diagonal's leftover tail finishes on the scalar path, resuming from the
-// carried chain value.
-func diagQuad(t, head, means, invs []float64, k, l, s int, invFl float64, corr []float64, idx []int32) {
-	qt0, qt1, qt2, qt3 := head[k], head[k+1], head[k+2], head[k+3]
-	// i = 0 row: the head cells themselves.
-	c0 := (qt0*invFl - means[0]*means[k]) * invs[0] * invs[k]
-	c1 := (qt1*invFl - means[0]*means[k+1]) * invs[0] * invs[k+1]
-	c2 := (qt2*invFl - means[0]*means[k+2]) * invs[0] * invs[k+2]
-	c3 := (qt3*invFl - means[0]*means[k+3]) * invs[0] * invs[k+3]
-	bc, bj := c0, int32(k)
-	if c1 > bc {
-		bc, bj = c1, int32(k+1)
-	}
-	if c2 > bc {
-		bc, bj = c2, int32(k+2)
-	}
-	if c3 > bc {
-		bc, bj = c3, int32(k+3)
-	}
-	update(corr, idx, 0, bc, bj)
-	update(corr, idx, k, c0, 0)
-	update(corr, idx, k+1, c1, 0)
-	update(corr, idx, k+2, c2, 0)
-	update(corr, idx, k+3, c3, 0)
-
-	// Common range: every i with all four diagonals still in bounds
-	// (i + k+3 ≤ s−1). Every array is hoisted into a sub-slice of exactly
-	// the common length so the compiler can prove all indexes in range.
-	m := s - k - 4
-	{
-		w := t[k+l-1 : s+l-1] // w[i+x] = t[(i+x)+k+l-1] = t[j+x+l-1]
-		u := t[k-1 : s-1]     // u[i+x] = t[j+x-1]
-		u = u[:len(w)]
-		ta := t[l-1 : l-1+s-k] // ta[i] = t[i+l-1]
-		ta = ta[:len(w)]
-		tb := t[0 : s-k] // tb[i-1] = t[i-1]
-		tb = tb[:len(w)]
-		mi := means[0 : s-k]
-		mi = mi[:len(w)]
-		vi := invs[0 : s-k]
-		vi = vi[:len(w)]
-		mj := means[k:s] // mj[i+x] = means[j+x]
-		mj = mj[:len(w)]
-		vj := invs[k:s]
-		vj = vj[:len(w)]
-		ci := corr[0 : s-k]
-		ci = ci[:len(w)]
-		ii := idx[0 : s-k]
-		ii = ii[:len(w)]
-		cj := corr[k:s]
-		cj = cj[:len(w)]
-		ij := idx[k:s]
-		ij = ij[:len(w)]
-		for i := 1; i+4 <= len(w); i++ {
-			ha, hb := ta[i], tb[i-1]
-			qt0 += ha*w[i] - hb*u[i]
-			qt1 += ha*w[i+1] - hb*u[i+1]
-			qt2 += ha*w[i+2] - hb*u[i+2]
-			qt3 += ha*w[i+3] - hb*u[i+3]
-			m0, v0 := mi[i], vi[i]
-			c0 := (qt0*invFl - m0*mj[i]) * v0 * vj[i]
-			c1 := (qt1*invFl - m0*mj[i+1]) * v0 * vj[i+1]
-			c2 := (qt2*invFl - m0*mj[i+2]) * v0 * vj[i+2]
-			c3 := (qt3*invFl - m0*mj[i+3]) * v0 * vj[i+3]
-			j := int32(i + k)
-			// Sequential compare-updates, ascending j: each branch is
-			// almost always not-taken (predictable), unlike a pairwise
-			// max reduction whose branches are data-random. One compare
-			// on the common path: c ≥ cur implies c == cur when c > cur
-			// fails (no NaNs reach here), so the tie-break only runs on
-			// the rare improving path.
-			if c0 >= ci[i] {
-				if c0 > ci[i] || j < ii[i] {
-					ci[i], ii[i] = c0, j
-				}
-			}
-			if c1 >= ci[i] {
-				if c1 > ci[i] || j+1 < ii[i] {
-					ci[i], ii[i] = c1, j+1
-				}
-			}
-			if c2 >= ci[i] {
-				if c2 > ci[i] || j+2 < ii[i] {
-					ci[i], ii[i] = c2, j+2
-				}
-			}
-			if c3 >= ci[i] {
-				if c3 > ci[i] || j+3 < ii[i] {
-					ci[i], ii[i] = c3, j+3
-				}
-			}
-			a := int32(i)
-			if c0 >= cj[i] {
-				if c0 > cj[i] || a < ij[i] {
-					cj[i], ij[i] = c0, a
-				}
-			}
-			if c1 >= cj[i+1] {
-				if c1 > cj[i+1] || a < ij[i+1] {
-					cj[i+1], ij[i+1] = c1, a
-				}
-			}
-			if c2 >= cj[i+2] {
-				if c2 > cj[i+2] || a < ij[i+2] {
-					cj[i+2], ij[i+2] = c2, a
-				}
-			}
-			if c3 >= cj[i+3] {
-				if c3 > cj[i+3] || a < ij[i+3] {
-					cj[i+3], ij[i+3] = c3, a
-				}
-			}
-		}
-	}
-
-	// Tails: diagonals k, k+1, k+2 have 3, 2, 1 cells left past the common
-	// range (diagonal k+3 ended exactly at i = m). Each resumes from its
-	// carried chain value at the last visited cell. When m = 0 the common
-	// loop never ran and the chains resume from the head cells themselves.
-	if m < 0 {
-		m = 0
-	}
-	diagOneTail(t, means, invs, qt0, k, l, s, invFl, corr, idx, m)
-	diagOneTail(t, means, invs, qt1, k+1, l, s, invFl, corr, idx, m)
-	diagOneTail(t, means, invs, qt2, k+2, l, s, invFl, corr, idx, m)
-}
-
-// diagOneTail finishes diagonal k from cell i0+1 onward, given qt = the
-// chain value at cell i0 (whose compare has already been applied).
-func diagOneTail(t, means, invs []float64, qt float64, k, l, s int, invFl float64, corr []float64, idx []int32, i0 int) {
-	w := t[k+l-1 : s+l-1] // w[i] = t[j+l-1], len s−k
-	u := t[k-1 : s-1]
-	u = u[:len(w)]
-	ta := t[l-1 : l-1+s-k]
-	ta = ta[:len(w)]
-	tb := t[0 : s-k]
-	tb = tb[:len(w)]
-	mi := means[0 : s-k]
-	mi = mi[:len(w)]
-	vi := invs[0 : s-k]
-	vi = vi[:len(w)]
-	mj := means[k:s]
-	mj = mj[:len(w)]
-	vj := invs[k:s]
-	vj = vj[:len(w)]
-	ci := corr[0 : s-k]
-	ci = ci[:len(w)]
-	ii := idx[0 : s-k]
-	ii = ii[:len(w)]
-	cj := corr[k:s]
-	cj = cj[:len(w)]
-	ij := idx[k:s]
-	ij = ij[:len(w)]
-	for i := i0 + 1; i < len(w); i++ {
-		qt += ta[i]*w[i] - tb[i-1]*u[i]
-		c := (qt*invFl - mi[i]*mj[i]) * vi[i] * vj[i]
-		j := int32(i + k)
-		if c >= ci[i] {
-			if c > ci[i] || j < ii[i] {
-				ci[i], ii[i] = c, j
-			}
-		}
-		a := int32(i)
-		if c >= cj[i] {
-			if c > cj[i] || a < ij[i] {
-				cj[i], ij[i] = c, a
-			}
-		}
 	}
 }

@@ -27,7 +27,9 @@ func bits32Equal(a, b []float32) bool {
 	return true
 }
 
-func TestKernelParityRowNext32(t *testing.T) {
+func TestKernelParityRowNext32(t *testing.T) { forEachVariant(t, testKernelParityRowNext32) }
+
+func testKernelParityRowNext32(t *testing.T) {
 	for _, n := range []int{64, 257, 1000} {
 		ts := toF32(testSeries(n, 11))
 		for _, l := range []int{4, 7, 32} {
@@ -54,7 +56,9 @@ func TestKernelParityRowNext32(t *testing.T) {
 	}
 }
 
-func TestKernelParityExtendRow32(t *testing.T) {
+func TestKernelParityExtendRow32(t *testing.T) { forEachVariant(t, testKernelParityExtendRow32) }
+
+func testKernelParityExtendRow32(t *testing.T) {
 	const n = 512
 	ts := toF32(testSeries(n, 12))
 	for _, tc := range []struct{ i, cur, l int }{
@@ -83,7 +87,9 @@ func TestKernelParityExtendRow32(t *testing.T) {
 	}
 }
 
-func TestKernelParityDiagScan32(t *testing.T) {
+func TestKernelParityDiagScan32(t *testing.T) { forEachVariant(t, testKernelParityDiagScan32) }
+
+func testKernelParityDiagScan32(t *testing.T) {
 	for _, n := range []int{120, 493, 1000} {
 		ts64 := testSeries(n, 13)
 		ts := toF32(ts64)
@@ -132,7 +138,9 @@ func TestKernelParityDiagScan32(t *testing.T) {
 // float64 diagonal pass: with the head and series rounded once to float32,
 // the winning correlations must stay within single-precision tolerance
 // (the engine's Carry32 contract: trailing digits only).
-func TestDiagScan32TracksFloat64(t *testing.T) {
+func TestDiagScan32TracksFloat64(t *testing.T) { forEachVariant(t, testDiagScan32TracksFloat64) }
+
+func testDiagScan32TracksFloat64(t *testing.T) {
 	const n, l = 800, 16
 	ts64 := testSeries(n, 14)
 	ts := toF32(ts64)

@@ -1,0 +1,296 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 kernel routines. Hard rules:
+//
+//   - No FMA, ever: every multiply-add is a separate VMULPD/VADDPD (or
+//     VSUBPD) pair so the rounding matches the portable tiers bit for bit.
+//   - No winner-state writes: the scan routines compute correlations and
+//     (for the diagonal stepper) improvement masks only; the Go callers
+//     own the total-order compare-updates.
+//   - Every evaluation order mirrors the scalar expression it replaces,
+//     lane by lane.
+
+// func rowNextBlocks(r, a, b *float64, tail, head float64, lo, hi int)
+// Descending groups of four: r[p+1] = r[p] + tail*a[p] - head*b[p] for
+// p = hi … lo; caller guarantees (hi-lo+1) % 4 == 0. Group loads all
+// happen before the group store, and descending order keeps later groups
+// reading cells no earlier group wrote.
+TEXT ·rowNextBlocks(SB), NOSPLIT, $0-56
+	MOVQ r+0(FP), R8
+	MOVQ a+8(FP), R9
+	MOVQ b+16(FP), R10
+	VBROADCASTSD tail+24(FP), Y1
+	VBROADCASTSD head+32(FP), Y2
+	MOVQ lo+40(FP), DX
+	MOVQ hi+48(FP), AX
+
+rowloop:
+	LEAQ -3(AX), CX
+	VMOVUPD (R8)(CX*8), Y3  // r[p-3 : p+1]
+	VMOVUPD (R9)(CX*8), Y4  // a[p-3 : p+1]
+	VMOVUPD (R10)(CX*8), Y5 // b[p-3 : p+1]
+	VMULPD  Y4, Y1, Y4      // tail*a
+	VADDPD  Y4, Y3, Y3      // r + tail*a
+	VMULPD  Y5, Y2, Y5      // head*b
+	VSUBPD  Y5, Y3, Y3      // (r + tail*a) - head*b
+	LEAQ -2(AX), CX
+	VMOVUPD Y3, (R8)(CX*8)  // r[p-2 : p+2]
+	SUBQ $4, AX
+	CMPQ AX, DX
+	JGE  rowloop
+
+	VZEROUPPER
+	RET
+
+// func axpyBlocks(dst, x *float64, a float64, n int)
+// dst[j] += a*x[j] for j in [0, n), n a multiple of 4.
+TEXT ·axpyBlocks(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), R8
+	MOVQ x+8(FP), R9
+	VBROADCASTSD a+16(FP), Y1
+	MOVQ n+24(FP), DX
+	XORQ AX, AX
+
+axpy8:
+	LEAQ 8(AX), CX
+	CMPQ CX, DX
+	JGT  axpy4
+	VMOVUPD (R9)(AX*8), Y2
+	VMOVUPD 32(R9)(AX*8), Y3
+	VMULPD  Y2, Y1, Y2
+	VMULPD  Y3, Y1, Y3
+	VMOVUPD (R8)(AX*8), Y4
+	VMOVUPD 32(R8)(AX*8), Y5
+	VADDPD  Y2, Y4, Y4 // dst + a*x
+	VADDPD  Y3, Y5, Y5
+	VMOVUPD Y4, (R8)(AX*8)
+	VMOVUPD Y5, 32(R8)(AX*8)
+	ADDQ $8, AX
+	JMP  axpy8
+
+axpy4:
+	LEAQ 4(AX), CX
+	CMPQ CX, DX
+	JGT  axpydone
+	VMOVUPD (R9)(AX*8), Y2
+	VMULPD  Y2, Y1, Y2
+	VMOVUPD (R8)(AX*8), Y4
+	VADDPD  Y2, Y4, Y4
+	VMOVUPD Y4, (R8)(AX*8)
+	ADDQ $4, AX
+	JMP  axpy4
+
+axpydone:
+	VZEROUPPER
+	RET
+
+// func corrMax(r, m, v *float64, invFl, muA, invA float64, n int) float64
+// max over [0, n) of ((r*invFl) - muA*m) * invA * v; n a positive
+// multiple of 4. No NaNs reach the kernels, so VMAXPD is a pure maximum.
+TEXT ·corrMax(SB), NOSPLIT, $0-64
+	MOVQ r+0(FP), R8
+	MOVQ m+8(FP), R9
+	MOVQ v+16(FP), R10
+	VBROADCASTSD invFl+24(FP), Y1
+	VBROADCASTSD muA+32(FP), Y2
+	VBROADCASTSD invA+40(FP), Y3
+	MOVQ n+48(FP), DX
+
+	// First group seeds the running lane maxima.
+	VMOVUPD (R8), Y4
+	VMULPD  Y1, Y4, Y4 // r*invFl
+	VMOVUPD (R9), Y5
+	VMULPD  Y2, Y5, Y5 // muA*m
+	VSUBPD  Y5, Y4, Y4
+	VMULPD  Y3, Y4, Y4 // * invA
+	VMOVUPD (R10), Y5
+	VMULPD  Y5, Y4, Y4 // * v
+	MOVQ $4, AX
+
+maxloop:
+	CMPQ AX, DX
+	JGE  maxdone
+	VMOVUPD (R8)(AX*8), Y5
+	VMULPD  Y1, Y5, Y5
+	VMOVUPD (R9)(AX*8), Y6
+	VMULPD  Y2, Y6, Y6
+	VSUBPD  Y6, Y5, Y5
+	VMULPD  Y3, Y5, Y5
+	VMOVUPD (R10)(AX*8), Y6
+	VMULPD  Y6, Y5, Y5
+	VMAXPD  Y5, Y4, Y4
+	ADDQ $4, AX
+	JMP  maxloop
+
+maxdone:
+	VEXTRACTF128 $1, Y4, X5
+	VMAXPD   X5, X4, X4
+	VPERMILPD $1, X4, X5
+	VMAXSD   X5, X4, X4
+	VZEROUPPER
+	MOVSD X4, ret+56(FP)
+	RET
+
+// func corrBuf(dst, cb, mb, vb *float64, invFl, muJ, invJ float64, n int)
+// dst[y] = ((cb*invFl) - mb*muJ) * vb * invJ for y in [0, n), n a
+// multiple of 4 (note: *vb before *invJ — ColScan's evaluation order).
+TEXT ·corrBuf(SB), NOSPLIT, $0-64
+	MOVQ dst+0(FP), R8
+	MOVQ cb+8(FP), R9
+	MOVQ mb+16(FP), R10
+	MOVQ vb+24(FP), R11
+	VBROADCASTSD invFl+32(FP), Y1
+	VBROADCASTSD muJ+40(FP), Y2
+	VBROADCASTSD invJ+48(FP), Y3
+	MOVQ n+56(FP), DX
+	XORQ AX, AX
+
+bufloop:
+	CMPQ AX, DX
+	JGE  bufdone
+	VMOVUPD (R9)(AX*8), Y4
+	VMULPD  Y1, Y4, Y4 // cb*invFl
+	VMOVUPD (R10)(AX*8), Y5
+	VMULPD  Y2, Y5, Y5 // mb*muJ
+	VSUBPD  Y5, Y4, Y4
+	VMOVUPD (R11)(AX*8), Y6
+	VMULPD  Y6, Y4, Y4 // * vb
+	VMULPD  Y3, Y4, Y4 // * invJ
+	VMOVUPD Y4, (R8)(AX*8)
+	ADDQ $4, AX
+	JMP  bufloop
+
+bufdone:
+	VZEROUPPER
+	RET
+
+// func diagSteps4(qt, w, u, ta, tb, mi, vi, mj, vj, ci, cj *float64,
+//                 invFl float64, i0, n int) int
+// Advances the four interleaved diagonal chains over cells i in [i0, n):
+//   qt[x] += ta[i]*w[i+x] - tb[i-1]*u[i+x]
+//   c[x]   = ((qt[x]*invFl) - mi[i]*mj[i+x]) * vi[i] * vj[i+x]
+// and returns at the first i where any lane has c >= ci[i] or
+// c >= cj[i+x] (chains already advanced to that cell and stored back),
+// or n when no cell triggers. Winner state is never written here.
+TEXT ·diagSteps4(SB), NOSPLIT, $0-120
+	MOVQ w+8(FP), R8
+	MOVQ u+16(FP), R9
+	MOVQ ta+24(FP), R10
+	MOVQ tb+32(FP), R11
+	MOVQ mi+40(FP), R12
+	MOVQ vi+48(FP), R13
+	MOVQ mj+56(FP), R14
+	MOVQ vj+64(FP), DI
+	MOVQ ci+72(FP), SI
+	MOVQ cj+80(FP), BX
+	VBROADCASTSD invFl+88(FP), Y1
+	MOVQ i0+96(FP), AX
+	MOVQ n+104(FP), DX
+	MOVQ qt+0(FP), CX
+	VMOVUPD (CX), Y0 // chain lanes
+	CMPQ AX, DX
+	JGE  dsdone
+
+dsloop:
+	VBROADCASTSD (R10)(AX*8), Y2 // ha = ta[i]
+	LEAQ -1(AX), CX
+	VBROADCASTSD (R11)(CX*8), Y3 // hb = tb[i-1]
+	VMOVUPD (R8)(AX*8), Y4       // w[i : i+4]
+	VMOVUPD (R9)(AX*8), Y5       // u[i : i+4]
+	VMULPD  Y4, Y2, Y4           // ha*w
+	VMULPD  Y5, Y3, Y5           // hb*u
+	VSUBPD  Y5, Y4, Y4
+	VADDPD  Y4, Y0, Y0           // qt += ha*w - hb*u
+	VMULPD  Y1, Y0, Y6           // qt*invFl
+	VBROADCASTSD (R12)(AX*8), Y7 // m0 = mi[i]
+	VMOVUPD (R14)(AX*8), Y8      // mj[i : i+4]
+	VMULPD  Y8, Y7, Y7           // m0*mj
+	VSUBPD  Y7, Y6, Y6
+	VBROADCASTSD (R13)(AX*8), Y9 // v0 = vi[i]
+	VMULPD  Y9, Y6, Y6           // * v0
+	VMOVUPD (DI)(AX*8), Y10      // vj[i : i+4]
+	VMULPD  Y10, Y6, Y6          // * vj → c lanes
+	VBROADCASTSD (SI)(AX*8), Y11 // ci[i]
+	VCMPPD  $0x0d, Y11, Y6, Y12  // c >= ci[i] (GE_OS)
+	VMOVUPD (BX)(AX*8), Y13      // cj[i : i+4]
+	VCMPPD  $0x0d, Y13, Y6, Y14  // c >= cj[i+x]
+	VORPD   Y14, Y12, Y12
+	VMOVMSKPD Y12, CX
+	TESTL CX, CX
+	JNE  dsdone
+	INCQ AX
+	CMPQ AX, DX
+	JLT  dsloop
+
+dsdone:
+	MOVQ qt+0(FP), CX
+	VMOVUPD Y0, (CX)
+	MOVQ AX, ret+112(FP)
+	VZEROUPPER
+	RET
+
+// func diagSteps32x(qt *float64, w, u, ta, tb *float32,
+//                   mi, vi, mj, vj, ci, cj *float64,
+//                   invFl float64, i0, n int) int
+// diagSteps4 with the series-derived streams stored in float32 and
+// widened at load; chains and compares run in float64.
+TEXT ·diagSteps32x(SB), NOSPLIT, $0-120
+	MOVQ w+8(FP), R8
+	MOVQ u+16(FP), R9
+	MOVQ ta+24(FP), R10
+	MOVQ tb+32(FP), R11
+	MOVQ mi+40(FP), R12
+	MOVQ vi+48(FP), R13
+	MOVQ mj+56(FP), R14
+	MOVQ vj+64(FP), DI
+	MOVQ ci+72(FP), SI
+	MOVQ cj+80(FP), BX
+	VBROADCASTSD invFl+88(FP), Y1
+	MOVQ i0+96(FP), AX
+	MOVQ n+104(FP), DX
+	MOVQ qt+0(FP), CX
+	VMOVUPD (CX), Y0
+	CMPQ AX, DX
+	JGE  d32done
+
+d32loop:
+	VBROADCASTSS (R10)(AX*4), X2 // ta[i] ×4 (float32)
+	VCVTPS2PD X2, Y2             // widen → ha lanes
+	LEAQ -1(AX), CX
+	VBROADCASTSS (R11)(CX*4), X3 // tb[i-1] ×4
+	VCVTPS2PD X3, Y3
+	VCVTPS2PD (R8)(AX*4), Y4     // w[i : i+4] widened
+	VCVTPS2PD (R9)(AX*4), Y5     // u[i : i+4] widened
+	VMULPD  Y4, Y2, Y4
+	VMULPD  Y5, Y3, Y5
+	VSUBPD  Y5, Y4, Y4
+	VADDPD  Y4, Y0, Y0
+	VMULPD  Y1, Y0, Y6
+	VBROADCASTSD (R12)(AX*8), Y7
+	VMOVUPD (R14)(AX*8), Y8
+	VMULPD  Y8, Y7, Y7
+	VSUBPD  Y7, Y6, Y6
+	VBROADCASTSD (R13)(AX*8), Y9
+	VMULPD  Y9, Y6, Y6
+	VMOVUPD (DI)(AX*8), Y10
+	VMULPD  Y10, Y6, Y6
+	VBROADCASTSD (SI)(AX*8), Y11
+	VCMPPD  $0x0d, Y11, Y6, Y12
+	VMOVUPD (BX)(AX*8), Y13
+	VCMPPD  $0x0d, Y13, Y6, Y14
+	VORPD   Y14, Y12, Y12
+	VMOVMSKPD Y12, CX
+	TESTL CX, CX
+	JNE  d32done
+	INCQ AX
+	CMPQ AX, DX
+	JLT  d32loop
+
+d32done:
+	MOVQ qt+0(FP), CX
+	VMOVUPD Y0, (CX)
+	MOVQ AX, ret+112(FP)
+	VZEROUPPER
+	RET

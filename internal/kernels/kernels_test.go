@@ -57,7 +57,9 @@ func bitsEqual(a, b []float64) bool {
 	return true
 }
 
-func TestKernelParityRowNext(t *testing.T) {
+func TestKernelParityRowNext(t *testing.T) { forEachVariant(t, testKernelParityRowNext) }
+
+func testKernelParityRowNext(t *testing.T) {
 	for _, n := range []int{64, 257, 1000} {
 		ts := testSeries(n, 1)
 		for _, l := range []int{4, 7, 32} {
@@ -82,7 +84,9 @@ func TestKernelParityRowNext(t *testing.T) {
 	}
 }
 
-func TestKernelParityArgmaxCorr(t *testing.T) {
+func TestKernelParityArgmaxCorr(t *testing.T) { forEachVariant(t, testKernelParityArgmaxCorr) }
+
+func testKernelParityArgmaxCorr(t *testing.T) {
 	const n, l = 700, 23
 	ts := testSeries(n, 2)
 	s := n - l + 1
@@ -122,7 +126,9 @@ func TestKernelParityArgmaxCorr(t *testing.T) {
 	}
 }
 
-func TestKernelParityExtendRow(t *testing.T) {
+func TestKernelParityExtendRow(t *testing.T) { forEachVariant(t, testKernelParityExtendRow) }
+
+func testKernelParityExtendRow(t *testing.T) {
 	const n = 512
 	ts := testSeries(n, 3)
 	for _, tc := range []struct{ i, cur, l int }{
@@ -148,7 +154,9 @@ func TestKernelParityExtendRow(t *testing.T) {
 	}
 }
 
-func TestKernelParityAdvanceDot(t *testing.T) {
+func TestKernelParityAdvanceDot(t *testing.T) { forEachVariant(t, testKernelParityAdvanceDot) }
+
+func testKernelParityAdvanceDot(t *testing.T) {
 	const n = 300
 	ts := testSeries(n, 4)
 	for _, tc := range []struct{ i, j, p0, p1 int }{
@@ -166,7 +174,9 @@ func TestKernelParityAdvanceDot(t *testing.T) {
 	}
 }
 
-func TestKernelParityDiagScan(t *testing.T) {
+func TestKernelParityDiagScan(t *testing.T) { forEachVariant(t, testKernelParityDiagScan) }
+
+func testKernelParityDiagScan(t *testing.T) {
 	for _, n := range []int{120, 493, 1000} {
 		ts := testSeries(n, 5)
 		for _, l := range []int{8, 21} {
@@ -208,7 +218,9 @@ func TestKernelParityDiagScan(t *testing.T) {
 	}
 }
 
-func TestKernelParityColScan(t *testing.T) {
+func TestKernelParityColScan(t *testing.T) { forEachVariant(t, testKernelParityColScan) }
+
+func testKernelParityColScan(t *testing.T) {
 	for _, n := range []int{90, 301, 743} {
 		ts := testSeries(n, 6)
 		for _, l := range []int{5, 16, 33} {
@@ -269,20 +281,65 @@ func benchSetup(n, l int) (ts, head, means, invs []float64, s int) {
 }
 
 func BenchmarkDiagScan(b *testing.B) {
-	ts, head, means, invs, s := benchSetup(4096, 64)
-	excl := 16
-	corr := make([]float64, s)
-	idx := make([]int32, s)
-	b.ReportAllocs()
-	b.SetBytes(int64(8 * (s - excl) * (s - excl) / 2))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		for j := 0; j < s; j++ {
-			corr[j] = math.Inf(-1)
-			idx[j] = -1
+	forEachVariantB(b, func(b *testing.B) {
+		ts, head, means, invs, s := benchSetup(4096, 64)
+		excl := 16
+		corr := make([]float64, s)
+		idx := make([]int32, s)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * (s - excl) * (s - excl) / 2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < s; j++ {
+				corr[j] = math.Inf(-1)
+				idx[j] = -1
+			}
+			DiagScan(ts, head, means, invs, excl, s, 64, s, corr, idx)
 		}
-		DiagScan(ts, head, means, invs, excl, s, 64, s, corr, idx)
-	}
+	})
+}
+
+func BenchmarkDiagScan32(b *testing.B) {
+	forEachVariantB(b, func(b *testing.B) {
+		ts, head, means, invs, s := benchSetup(4096, 64)
+		t32, h32 := toF32(ts), toF32(head)
+		excl := 16
+		corr := make([]float64, s)
+		idx := make([]int32, s)
+		b.ReportAllocs()
+		b.SetBytes(int64(8 * (s - excl) * (s - excl) / 2))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < s; j++ {
+				corr[j] = math.Inf(-1)
+				idx[j] = -1
+			}
+			DiagScan32(t32, h32, means, invs, excl, s, 64, s, corr, idx)
+		}
+	})
+}
+
+func BenchmarkColScan(b *testing.B) {
+	forEachVariantB(b, func(b *testing.B) {
+		ts, _, means, invs, s := benchSetup(8192, 64)
+		j := s - 1
+		col := make([]float64, s)
+		for i := range col {
+			col[i] = series.Dot(ts[i:i+l64], ts[j:j+l64])
+		}
+		iEnd := j - 16 + 1
+		corr := make([]float64, s)
+		idx := make([]int32, s)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for x := 0; x < s; x++ {
+				corr[x] = math.Inf(-1)
+				idx[x] = -1
+			}
+			sinkCorr, _ = ColScan(col, means, invs, iEnd, 1.0/64, means[j], invs[j], corr, idx, int32(j), math.Inf(-1), -1)
+		}
+	})
 }
 
 func BenchmarkRefDiagScan(b *testing.B) {
@@ -303,16 +360,18 @@ func BenchmarkRefDiagScan(b *testing.B) {
 }
 
 func BenchmarkArgmaxCorr(b *testing.B) {
-	ts, _, means, invs, s := benchSetup(8192, 64)
-	row := make([]float64, s)
-	for j := range row {
-		row[j] = series.Dot(ts[0:l64], ts[j:j+l64])
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sinkCorr, sinkJ = ArgmaxCorr(row, means, invs, 100, 132, s, 1.0/64, means[0], invs[0], math.Inf(-1), -1)
-	}
+	forEachVariantB(b, func(b *testing.B) {
+		ts, _, means, invs, s := benchSetup(8192, 64)
+		row := make([]float64, s)
+		for j := range row {
+			row[j] = series.Dot(ts[0:l64], ts[j:j+l64])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sinkCorr, sinkJ = ArgmaxCorr(row, means, invs, 100, 132, s, 1.0/64, means[0], invs[0], math.Inf(-1), -1)
+		}
+	})
 }
 
 func BenchmarkRefArgmaxCorr(b *testing.B) {
@@ -336,22 +395,38 @@ var (
 )
 
 func BenchmarkExtendRowOneStep(b *testing.B) {
-	ts, head, _, _, _ := benchSetup(8192, 64)
-	row := append([]float64(nil), head...)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ExtendRow(row, ts, 0, 64, 65)
-		ExtendRow(row, ts, 0, 64, 65) // keep the row hot; values drift, timing doesn't
-	}
+	forEachVariantB(b, func(b *testing.B) {
+		ts, head, _, _, _ := benchSetup(8192, 64)
+		row := append([]float64(nil), head...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ExtendRow(row, ts, 0, 64, 65)
+			ExtendRow(row, ts, 0, 64, 65) // keep the row hot; values drift, timing doesn't
+		}
+	})
+}
+
+func BenchmarkExtendRowMultiStep(b *testing.B) {
+	forEachVariantB(b, func(b *testing.B) {
+		ts, head, _, _, _ := benchSetup(8192, 64)
+		row := append([]float64(nil), head...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ExtendRow(row, ts, 0, 64, 72) // 8 pending steps, the planner-gap shape
+		}
+	})
 }
 
 func BenchmarkRowNext(b *testing.B) {
-	ts, head, _, _, s := benchSetup(8192, 64)
-	row := append([]float64(nil), head...)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		RowNext(row, ts, 1+(i&7), 64, s)
-	}
+	forEachVariantB(b, func(b *testing.B) {
+		ts, head, _, _, s := benchSetup(8192, 64)
+		row := append([]float64(nil), head...)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			RowNext(row, ts, 1+(i&7), 64, s)
+		}
+	})
 }

@@ -1,0 +1,362 @@
+package kernels
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/series"
+)
+
+// forEachVariant runs f once per available dispatch tier as a subtest, so
+// every parity assertion certifies every reachable dispatch path (on
+// amd64 with AVX2 that is generic, ilp, and avx2). The active tier is
+// restored afterwards.
+func forEachVariant(t *testing.T, f func(t *testing.T)) {
+	t.Helper()
+	orig := Active()
+	defer func() {
+		if err := SetVariant(orig); err != nil {
+			t.Fatalf("restore variant %v: %v", orig, err)
+		}
+	}()
+	for _, v := range Available() {
+		if err := SetVariant(v); err != nil {
+			t.Fatalf("SetVariant(%v): %v", v, err)
+		}
+		t.Run(v.String(), f)
+	}
+}
+
+// forEachVariantB is forEachVariant for benchmarks: one sub-benchmark per
+// dispatch tier, so `go test -bench` reports generic/ilp/avx2 side by side.
+func forEachVariantB(b *testing.B, f func(b *testing.B)) {
+	b.Helper()
+	orig := Active()
+	defer func() {
+		if err := SetVariant(orig); err != nil {
+			b.Fatalf("restore variant %v: %v", orig, err)
+		}
+	}()
+	for _, v := range Available() {
+		if err := SetVariant(v); err != nil {
+			b.Fatalf("SetVariant(%v): %v", v, err)
+		}
+		b.Run(v.String(), f)
+	}
+}
+
+// allVariants is the plain-loop form for fuzz targets, where t.Run is not
+// permitted: f runs once per available tier with that tier active and its
+// Variant passed for failure messages. The active tier is restored.
+func allVariants(t *testing.T, f func(v Variant)) {
+	t.Helper()
+	orig := Active()
+	defer func() {
+		if err := SetVariant(orig); err != nil {
+			t.Fatalf("restore variant %v: %v", orig, err)
+		}
+	}()
+	for _, v := range Available() {
+		if err := SetVariant(v); err != nil {
+			t.Fatalf("SetVariant(%v): %v", v, err)
+		}
+		f(v)
+	}
+}
+
+// fuzzSeries builds a series with fuzz-controlled degeneracy: a seeded
+// random walk with up to two constant segments (σ = 0 windows) whose
+// placement, including flush against either edge, comes from the fuzz
+// input, plus a planted exact repeat for correlation ties.
+func fuzzSeries(n int, seed int64, segA, segB uint8) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t := make([]float64, n)
+	v := 0.0
+	for i := range t {
+		v += rng.NormFloat64()
+		t[i] = v
+	}
+	if segA&1 != 0 {
+		start, end := int(segA)%n, int(segA)%n+n/6
+		if end > n {
+			end = n
+		}
+		for i := start; i < end; i++ {
+			t[i] = 3.25
+		}
+	}
+	if segB&1 != 0 {
+		start := n - 1 - int(segB)%(n/2+1)
+		if start < 0 {
+			start = 0
+		}
+		for i := start; i < n; i++ {
+			t[i] = -1.5
+		}
+	}
+	if n >= 24 {
+		copy(t[n/2:n/2+n/12], t[n/8:n/8+n/12])
+	}
+	return t
+}
+
+// FuzzKernelParity drives every dispatch tier of every kernel against its
+// Ref* baseline on fuzz-chosen series sizes, lengths, anchors and
+// degenerate-segment placements, asserting bit-identity (float64 paths)
+// and exact float32 store parity (carry paths). Random sizes exercise the
+// unroll and vector-width remainders; random anchors exercise
+// edge-clipped exclusion zones.
+func FuzzKernelParity(f *testing.F) {
+	f.Add(int64(1), uint16(64), uint8(4), uint8(0), uint8(0), uint8(0))
+	f.Add(int64(2), uint16(257), uint8(31), uint8(3), uint8(7), uint8(1))
+	f.Add(int64(3), uint16(500), uint8(63), uint8(129), uint8(255), uint8(2))
+	f.Add(int64(4), uint16(100), uint8(8), uint8(1), uint8(1), uint8(3))
+	f.Add(int64(5), uint16(333), uint8(16), uint8(0), uint8(9), uint8(4))
+	f.Add(int64(6), uint16(1000), uint8(40), uint8(200), uint8(0), uint8(5))
+	f.Add(int64(7), uint16(96), uint8(5), uint8(11), uint8(33), uint8(6))
+	f.Add(int64(8), uint16(770), uint8(50), uint8(77), uint8(128), uint8(7))
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, lRaw, segA, segB, kernel uint8) {
+		n := 32 + int(nRaw)%1200
+		l := 3 + int(lRaw)%62
+		if l > n/2 {
+			l = n / 2
+		}
+		s := n - l + 1
+		ts := fuzzSeries(n, seed, segA, segB)
+		means, invs := moments(ts, l)
+		invFl := 1 / float64(l)
+		excl := (l + 3) / 4
+		if excl < 1 {
+			excl = 1
+		}
+		anchor := int(seed&0x7fffffff) % s
+
+		switch kernel % 8 {
+		case 0: // RowNext
+			row0 := make([]float64, s)
+			for j := range row0 {
+				row0[j] = series.Dot(ts[0:l], ts[j:j+l])
+			}
+			i := 1 + anchor%s
+			if i >= s {
+				i = s - 1
+			}
+			if i < 1 {
+				return
+			}
+			want := append([]float64(nil), row0...)
+			RefRowNext(want, ts, i, l, s)
+			allVariants(t, func(v Variant) {
+				got := append([]float64(nil), row0...)
+				RowNext(got, ts, i, l, s)
+				if !bitsEqual(got, want) {
+					t.Fatalf("%v: RowNext(n=%d l=%d i=%d) diverges from reference", v, n, l, i)
+				}
+			})
+		case 1: // ArgmaxCorr with an edge-clippable exclusion zone
+			i := anchor
+			row := make([]float64, s)
+			for j := range row {
+				row[j] = series.Dot(ts[i:i+l], ts[j:j+l])
+			}
+			muA, invA := means[i], invs[i]
+			if invA == 0 {
+				invA = 1
+			}
+			e1, j2 := i-excl+1, i+excl
+			wc, wj := RefArgmaxCorr(row, means, invs, e1, j2, s, invFl, muA, invA, math.Inf(-1), -1)
+			allVariants(t, func(v Variant) {
+				gc, gj := ArgmaxCorr(row, means, invs, e1, j2, s, invFl, muA, invA, math.Inf(-1), -1)
+				if math.Float64bits(gc) != math.Float64bits(wc) || gj != wj {
+					t.Fatalf("%v: ArgmaxCorr(n=%d l=%d i=%d): (%v,%d) != reference (%v,%d)", v, n, l, i, gc, gj, wc, wj)
+				}
+			})
+		case 2: // ExtendRow, single- and multi-step
+			cur := l
+			newL := l + 1 + int(segA)%12
+			if newL > n {
+				newL = n
+			}
+			i := anchor % (n - newL + 1)
+			row0 := make([]float64, n-cur+1)
+			for j := range row0 {
+				row0[j] = series.Dot(ts[i:i+cur], ts[j:j+cur])
+			}
+			want := append([]float64(nil), row0...)
+			RefExtendRow(want, ts, i, cur, newL)
+			allVariants(t, func(v Variant) {
+				got := append([]float64(nil), row0...)
+				ExtendRow(got, ts, i, cur, newL)
+				if !bitsEqual(got, want) {
+					t.Fatalf("%v: ExtendRow(n=%d i=%d cur=%d l=%d) diverges from reference", v, n, i, cur, newL)
+				}
+			})
+		case 3: // DiagScan over a fuzz-chosen diagonal block
+			if excl >= s {
+				return
+			}
+			head := make([]float64, s)
+			for k := range head {
+				head[k] = series.Dot(ts[0:l], ts[k:k+l])
+			}
+			k0 := excl + anchor%(s-excl)
+			k1 := k0 + 1 + int(segB)%16
+			if k1 > s {
+				k1 = s
+			}
+			wc := make([]float64, s)
+			wi := make([]int32, s)
+			for i := 0; i < s; i++ {
+				wc[i], wi[i] = math.Inf(-1), -1
+			}
+			RefDiagScan(ts, head, means, invs, k0, k1, l, s, wc, wi)
+			allVariants(t, func(v Variant) {
+				gc := make([]float64, s)
+				gi := make([]int32, s)
+				for i := 0; i < s; i++ {
+					gc[i], gi[i] = math.Inf(-1), -1
+				}
+				DiagScan(ts, head, means, invs, k0, k1, l, s, gc, gi)
+				if !bitsEqual(gc, wc) {
+					t.Fatalf("%v: DiagScan(n=%d l=%d k=[%d,%d)) corr diverges", v, n, l, k0, k1)
+				}
+				for i := range gi {
+					if gi[i] != wi[i] {
+						t.Fatalf("%v: DiagScan(n=%d l=%d k=[%d,%d)) idx[%d]=%d != %d", v, n, l, k0, k1, i, gi[i], wi[i])
+					}
+				}
+			})
+		case 4: // ColScan at a fuzz-chosen appended column
+			j := 1 + anchor%s
+			if j >= s {
+				j = s - 1
+			}
+			if j < 1 {
+				return
+			}
+			col := make([]float64, s)
+			for i := range col {
+				col[i] = series.Dot(ts[i:i+l], ts[j:j+l])
+			}
+			iEnd := j - excl + 1
+			mkSlots := func() ([]float64, []int32) {
+				c := make([]float64, s)
+				ix := make([]int32, s)
+				for i := 0; i < s; i++ {
+					c[i], ix[i] = math.Inf(-1), -1
+				}
+				return c, ix
+			}
+			wc, wi := mkSlots()
+			wantC, wantI := RefColScan(col, means, invs, iEnd, invFl, means[j], invs[j], wc, wi, int32(j), math.Inf(-1), -1)
+			allVariants(t, func(v Variant) {
+				gc, gi := mkSlots()
+				gotC, gotI := ColScan(col, means, invs, iEnd, invFl, means[j], invs[j], gc, gi, int32(j), math.Inf(-1), -1)
+				if math.Float64bits(gotC) != math.Float64bits(wantC) || gotI != wantI {
+					t.Fatalf("%v: ColScan(n=%d l=%d j=%d) best (%v,%d) != reference (%v,%d)", v, n, l, j, gotC, gotI, wantC, wantI)
+				}
+				if !bitsEqual(gc, wc) {
+					t.Fatalf("%v: ColScan(n=%d l=%d j=%d) corr slots diverge", v, n, l, j)
+				}
+				for i := range gi {
+					if gi[i] != wi[i] {
+						t.Fatalf("%v: ColScan(n=%d l=%d j=%d) idx[%d]=%d != %d", v, n, l, j, i, gi[i], wi[i])
+					}
+				}
+			})
+		case 5: // RowNext32
+			t32 := toF32(ts)
+			row0 := make([]float32, s)
+			for j := range row0 {
+				sum := 0.0
+				for p := 0; p < l; p++ {
+					sum += float64(t32[p]) * float64(t32[j+p])
+				}
+				row0[j] = float32(sum)
+			}
+			i := 1 + anchor%s
+			if i >= s {
+				i = s - 1
+			}
+			if i < 1 {
+				return
+			}
+			want := append([]float32(nil), row0...)
+			RefRowNext32(want, t32, i, l, s)
+			allVariants(t, func(v Variant) {
+				got := append([]float32(nil), row0...)
+				RowNext32(got, t32, i, l, s)
+				got[0] = want[0]
+				if !bits32Equal(got, want) {
+					t.Fatalf("%v: RowNext32(n=%d l=%d i=%d) diverges from reference", v, n, l, i)
+				}
+			})
+		case 6: // ExtendRow32
+			t32 := toF32(ts)
+			cur := l
+			newL := l + 1 + int(segA)%12
+			if newL > n {
+				newL = n
+			}
+			i := anchor % (n - newL + 1)
+			row0 := make([]float32, n-cur+1)
+			for j := range row0 {
+				sum := 0.0
+				for p := 0; p < cur; p++ {
+					sum += float64(t32[i+p]) * float64(t32[j+p])
+				}
+				row0[j] = float32(sum)
+			}
+			want := append([]float32(nil), row0...)
+			RefExtendRow32(want, t32, i, cur, newL)
+			allVariants(t, func(v Variant) {
+				got := append([]float32(nil), row0...)
+				ExtendRow32(got, t32, i, cur, newL)
+				if !bits32Equal(got, want) {
+					t.Fatalf("%v: ExtendRow32(n=%d i=%d cur=%d l=%d) diverges from reference", v, n, i, cur, newL)
+				}
+			})
+		default: // DiagScan32
+			if excl >= s {
+				return
+			}
+			t32 := toF32(ts)
+			head := make([]float32, s)
+			for k := range head {
+				sum := 0.0
+				for p := 0; p < l; p++ {
+					sum += float64(t32[p]) * float64(t32[k+p])
+				}
+				head[k] = float32(sum)
+			}
+			k0 := excl + anchor%(s-excl)
+			k1 := k0 + 1 + int(segB)%16
+			if k1 > s {
+				k1 = s
+			}
+			wc := make([]float64, s)
+			wi := make([]int32, s)
+			for i := 0; i < s; i++ {
+				wc[i], wi[i] = math.Inf(-1), -1
+			}
+			RefDiagScan32(t32, head, means, invs, k0, k1, l, s, wc, wi)
+			allVariants(t, func(v Variant) {
+				gc := make([]float64, s)
+				gi := make([]int32, s)
+				for i := 0; i < s; i++ {
+					gc[i], gi[i] = math.Inf(-1), -1
+				}
+				DiagScan32(t32, head, means, invs, k0, k1, l, s, gc, gi)
+				if !bitsEqual(gc, wc) {
+					t.Fatalf("%v: DiagScan32(n=%d l=%d k=[%d,%d)) corr diverges", v, n, l, k0, k1)
+				}
+				for i := range gi {
+					if gi[i] != wi[i] {
+						t.Fatalf("%v: DiagScan32(n=%d l=%d k=[%d,%d)) idx[%d]=%d != %d", v, n, l, k0, k1, i, gi[i], wi[i])
+					}
+				}
+			})
+		}
+	})
+}
