@@ -1,0 +1,100 @@
+package valmod_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	valmod "github.com/seriesmining/valmod"
+	"github.com/seriesmining/valmod/internal/gen"
+)
+
+// TestDiscoverResumePublicAPI: a discovery resumed from any checkpoint —
+// here the middle one, at a different worker count — returns a Result
+// deeply identical to the uninterrupted run's.
+func TestDiscoverResumePublicAPI(t *testing.T) {
+	x := gen.ECG(1200, 5).Values
+	const lmin, lmax = 20, 50
+	var ckpts [][]byte
+	opts := valmod.Options{TopK: 3, Discords: 3, Workers: 1,
+		Checkpoint: func(b []byte) error {
+			ckpts = append(ckpts, append([]byte(nil), b...))
+			return nil
+		}}
+	eng := valmod.NewEngine(opts)
+	want, err := eng.Discover(x, lmin, lmax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ckpts) != lmax-lmin {
+		t.Fatalf("expected %d checkpoints, got %d", lmax-lmin, len(ckpts))
+	}
+
+	ropts := opts
+	ropts.Workers = 3
+	ropts.Checkpoint = nil
+	reng := valmod.NewEngine(ropts)
+	got, err := reng.DiscoverResume(context.Background(), x, lmin, lmax, ckpts[len(ckpts)/2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed result differs from uninterrupted run")
+	}
+
+	if _, err := reng.DiscoverResume(context.Background(), x, lmin, lmax, []byte("not a checkpoint")); !errors.Is(err, valmod.ErrBadCheckpoint) {
+		t.Fatalf("garbage blob: want ErrBadCheckpoint, got %v", err)
+	}
+}
+
+// TestStreamResumePublicAPI: a stream resumed mid-feed produces snapshots
+// deeply identical to the uninterrupted stream's after the same appends.
+func TestStreamResumePublicAPI(t *testing.T) {
+	x := gen.ECG(800, 6).Values
+	const lmin, lmax = 10, 36
+	opts := valmod.Options{TopK: 3, Discords: 2, Workers: 2}
+
+	ref, err := valmod.NewStream(lmin, lmax, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Append(x); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := valmod.NewStream(lmin, lmax, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(x) / 2
+	if err := st.Append(x[:cut]); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := st.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := valmod.ResumeStream(lmin, lmax, opts, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Append(x[cut:]); err != nil {
+		t.Fatal(err)
+	}
+	got, err := rs.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed stream snapshot differs from uninterrupted stream")
+	}
+
+	if _, err := valmod.ResumeStream(lmin, lmax, opts, ck[:10]); !errors.Is(err, valmod.ErrBadCheckpoint) {
+		t.Fatalf("truncated blob: want ErrBadCheckpoint, got %v", err)
+	}
+}

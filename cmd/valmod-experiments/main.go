@@ -27,6 +27,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -62,6 +63,8 @@ func main() {
 		parity       = flag.Bool("plan-parity", false, "after (or instead of) the benchmark, run the pruned, from-scratch full, and incremental plans over the -bench-n series (best pair must agree), then the exhaustive, LB-skip and strict stride/refine pairs+discords plans (best pair AND top discord must agree); exit non-zero on any drift — the CI smoke check")
 		large        = flag.Bool("bench-large", false, "add the large-series cases (ecg/pairs@n50k, ecg/pairs+discords@n100k at workers 1 and 4; the n100k cases run the LB length-skip plan) to the -bench-json suite")
 		million      = flag.Bool("bench-million", false, "add the million-point case (ecg/pairs+discords/stride@n1m: LengthStride=20, RefineRadius=1, Carry32, one worker) to the -bench-json suite; expect hours on one core")
+		benchCkpt    = flag.Bool("bench-checkpoint", false, "add the checkpoint-overhead case to the -bench-json suite: ecg/pairs+discords at -bench-checkpoint-n, run bare and then with engine checkpoints written+fsynced at the service cadence; the report carries checkpoint_bytes and checkpoint_ms_per_length")
+		benchCkptN   = flag.Int("bench-checkpoint-n", 100000, "series length for the -bench-checkpoint case")
 		benchKernels = flag.Bool("bench-kernels", false, "time every hot kernel at every available dispatch variant (generic/ilp/avx2) and report ns/op plus speedup over generic; with -bench-json the section embeds in the same report")
 		benchScaling = flag.Bool("bench-scaling", false, "run the fixed pairs+discords workload at workers 1/2/4, assert bit-identical anchors, and report the speedup ratios (exit non-zero on drift)")
 		scalingN     = flag.Int("scaling-n", 20000, "series length for the -bench-scaling workload")
@@ -115,7 +118,7 @@ func main() {
 	}
 	if *bench || *parity || *benchStream || *benchKernels || *benchScaling {
 		if *bench || (*benchKernels && !*benchScaling) {
-			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large, *million, *benchKernels, !*bench); err != nil {
+			if err := runBenchJSON(*out, *benchN, *lmin, *seed, *workers, *large, *million, *benchKernels, !*bench, *benchCkpt, *benchCkptN); err != nil {
 				fmt.Fprintln(os.Stderr, "valmod-experiments:", err)
 				os.Exit(1)
 			}
@@ -204,6 +207,59 @@ type benchCase struct {
 	TopDiscordNormDist float64 `json:"top_discord_norm_dist,omitempty"`
 	TopDiscordOffset   int     `json:"top_discord_offset,omitempty"`
 	TopDiscordLength   int     `json:"top_discord_length,omitempty"`
+	// Checkpoint overhead (the -bench-checkpoint case only). The workload
+	// runs twice over identical inputs — bare, then emitting engine
+	// checkpoints at the service cadence, each blob written and fsynced
+	// like the WAL's blob store — and the delta is charged to
+	// checkpointing: Seconds times the checkpointed run,
+	// baseline_seconds the bare one, checkpoint_ms_per_length =
+	// (Seconds − baseline_seconds)·1000 / lengths. checkpoint_bytes is
+	// the mean blob size (dominated by the hot-row cache, so near-flat
+	// across lengths).
+	BaselineSeconds       float64 `json:"baseline_seconds,omitempty"`
+	CheckpointBytes       int64   `json:"checkpoint_bytes,omitempty"`
+	CheckpointCount       int     `json:"checkpoint_count,omitempty"`
+	CheckpointMsPerLength float64 `json:"checkpoint_ms_per_length,omitempty"`
+}
+
+// fillBenchStats populates the fields every case derives from a finished
+// run: length/plan counters, allocation accounting, peak memory, and the
+// result anchors.
+func fillBenchStats(bc *benchCase, res *valmod.Result, m0, m1 *runtime.MemStats) {
+	bc.Lengths = len(res.PerLength)
+	bc.PrunedLengths = res.Plan.PrunedLengths
+	bc.IncrementalLengths = res.Plan.IncrementalLengths
+	bc.RecomputeLengths = res.Plan.RecomputeLengths
+	bc.HeadSeeds = res.Plan.HeadSeeds
+	bc.HeadExtensions = res.Plan.HeadExtensions
+	bc.LBSkippedLengths = res.Plan.LBSkippedLengths
+	bc.StrideScanned = res.Plan.StrideScanned
+	bc.RefinedLengths = res.Plan.RefinedLengths
+	bc.HeapInuseBytes = m1.HeapInuse
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil && ru.Maxrss > 0 {
+		bc.MaxRSSBytes = uint64(ru.Maxrss) * 1024 // linux reports KiB
+	}
+	if lengths := len(res.PerLength); lengths > 0 {
+		bc.AllocsPerLength = float64(m1.Mallocs-m0.Mallocs) / float64(lengths)
+		bc.BytesPerLength = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(lengths)
+	}
+	for _, lr := range res.PerLength {
+		bc.CertifiedAnchors += lr.Certified
+		bc.RecomputedAnchors += lr.Recomputed
+		if lr.FullRecompute {
+			bc.FullRecomputes++
+		}
+	}
+	if best, ok := res.BestOverall(); ok {
+		bc.BestNormDist = best.NormDistance
+		bc.BestA, bc.BestB, bc.BestLength = best.A, best.B, best.Length
+	}
+	if len(res.Discords) > 0 {
+		bc.TopDiscordNormDist = res.Discords[0].NormDistance
+		bc.TopDiscordOffset = res.Discords[0].Offset
+		bc.TopDiscordLength = res.Discords[0].Length
+	}
 }
 
 // benchReport is the whole -bench-json document. KernelVariant records the
@@ -226,7 +282,7 @@ type benchReport struct {
 // full-profile plan) over the same series and length range. Timings are
 // machine-dependent; the result anchors are not (fixed seed, fixed
 // grids), so baseline diffs separate "faster/slower" from "different".
-func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, million, withKernels, kernelsOnly bool) error {
+func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, million, withKernels, kernelsOnly, withCkpt bool, ckptN int) error {
 	const rangeLen = 20
 	rep := benchReport{
 		GoVersion:     runtime.Version(),
@@ -268,46 +324,13 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, m
 			Dataset: ds, N: n,
 			LMin: lmin, LMax: lmin + rangeLen - 1,
 			TopK: opts.TopK, Discords: discords, Workers: caseWorkers,
-			LengthSkip:         opts.LengthSkip,
-			LengthStride:       opts.LengthStride,
-			RefineRadius:       opts.RefineRadius,
-			Carry32:            opts.Carry32,
-			Seconds:            elapsed.Seconds(),
-			Lengths:            len(res.PerLength),
-			PrunedLengths:      res.Plan.PrunedLengths,
-			IncrementalLengths: res.Plan.IncrementalLengths,
-			RecomputeLengths:   res.Plan.RecomputeLengths,
-			HeadSeeds:          res.Plan.HeadSeeds,
-			HeadExtensions:     res.Plan.HeadExtensions,
-			LBSkippedLengths:   res.Plan.LBSkippedLengths,
-			StrideScanned:      res.Plan.StrideScanned,
-			RefinedLengths:     res.Plan.RefinedLengths,
-			HeapInuseBytes:     m1.HeapInuse,
+			LengthSkip:   opts.LengthSkip,
+			LengthStride: opts.LengthStride,
+			RefineRadius: opts.RefineRadius,
+			Carry32:      opts.Carry32,
+			Seconds:      elapsed.Seconds(),
 		}
-		var ru syscall.Rusage
-		if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err == nil && ru.Maxrss > 0 {
-			bc.MaxRSSBytes = uint64(ru.Maxrss) * 1024 // linux reports KiB
-		}
-		if lengths := len(res.PerLength); lengths > 0 {
-			bc.AllocsPerLength = float64(m1.Mallocs-m0.Mallocs) / float64(lengths)
-			bc.BytesPerLength = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(lengths)
-		}
-		for _, lr := range res.PerLength {
-			bc.CertifiedAnchors += lr.Certified
-			bc.RecomputedAnchors += lr.Recomputed
-			if lr.FullRecompute {
-				bc.FullRecomputes++
-			}
-		}
-		if best, ok := res.BestOverall(); ok {
-			bc.BestNormDist = best.NormDistance
-			bc.BestA, bc.BestB, bc.BestLength = best.A, best.B, best.Length
-		}
-		if len(res.Discords) > 0 {
-			bc.TopDiscordNormDist = res.Discords[0].NormDistance
-			bc.TopDiscordOffset = res.Discords[0].Offset
-			bc.TopDiscordLength = res.Discords[0].Length
-		}
+		fillBenchStats(&bc, res, &m0, &m1)
 		rep.Cases = append(rep.Cases, bc)
 		return nil
 	}
@@ -373,6 +396,11 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, m
 			return err
 		}
 	}
+	if withCkpt && !kernelsOnly {
+		if err := runCheckpointCase(&rep, ckptN, lmin, rangeLen, seed); err != nil {
+			return err
+		}
+	}
 	if withKernels {
 		ks, err := collectKernelBenches(seed)
 		if err != nil {
@@ -392,6 +420,100 @@ func runBenchJSON(outPath string, n, lmin int, seed int64, workers int, large, m
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// runCheckpointCase measures what durable checkpointing costs: the ecg
+// pairs+discords workload runs bare, then again emitting engine
+// checkpoints at the service cadence (every 8 lengths), each blob written
+// and fsynced the way the service's WAL stores it. The exhaustive
+// (non-length-skip) plan is used because fast-mode plans never checkpoint.
+// The two runs must agree on the best pair — checkpointing is
+// observation-only — and the timing delta becomes checkpoint_ms_per_length.
+func runCheckpointCase(rep *benchReport, n, lmin, rangeLen int, seed int64) error {
+	s, err := gen.Dataset("ecg", n, seed)
+	if err != nil {
+		return err
+	}
+	lmax := lmin + rangeLen - 1
+	opts := valmod.Options{TopK: 10, Discords: 5, Workers: 1}
+	runtime.GC()
+	start := time.Now()
+	base, err := valmod.Discover(s.Values, lmin, lmax, opts)
+	if err != nil {
+		return err
+	}
+	baseSecs := time.Since(start).Seconds()
+
+	dir, err := os.MkdirTemp("", "valmod-bench-ckpt-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	var blobBytes int64
+	blobs := 0
+	copts := opts
+	copts.CheckpointEvery = 8
+	copts.Checkpoint = func(b []byte) error {
+		tmp := filepath.Join(dir, "ckpt.tmp")
+		f, err := os.Create(tmp)
+		if err != nil {
+			return err
+		}
+		if _, err := f.Write(b); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, filepath.Join(dir, "ckpt")); err != nil {
+			return err
+		}
+		blobBytes += int64(len(b))
+		blobs++
+		return nil
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	start = time.Now()
+	res, err := valmod.Discover(s.Values, lmin, lmax, copts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&m1)
+	bestBase, _ := base.BestOverall()
+	bestCkpt, _ := res.BestOverall()
+	if bestBase != bestCkpt {
+		return fmt.Errorf("checkpointed run drifted from the bare run: %+v vs %+v", bestCkpt, bestBase)
+	}
+	tag := fmt.Sprintf("@n%d", n)
+	if n%1000 == 0 {
+		tag = fmt.Sprintf("@n%dk", n/1000)
+	}
+	bc := benchCase{
+		Name:    "ecg/pairs+discords/ckpt" + tag,
+		Dataset: "ecg", N: n,
+		LMin: lmin, LMax: lmax,
+		TopK: opts.TopK, Discords: opts.Discords, Workers: 1,
+		Seconds:         elapsed.Seconds(),
+		BaselineSeconds: baseSecs,
+	}
+	fillBenchStats(&bc, res, &m0, &m1)
+	if blobs > 0 {
+		bc.CheckpointBytes = blobBytes / int64(blobs)
+		bc.CheckpointCount = blobs
+	}
+	if lengths := len(res.PerLength); lengths > 0 {
+		bc.CheckpointMsPerLength = (elapsed.Seconds() - baseSecs) * 1000 / float64(lengths)
+	}
+	rep.Cases = append(rep.Cases, bc)
+	return nil
 }
 
 // streamBenchCase is one timed streaming feed of the -bench-stream suite.

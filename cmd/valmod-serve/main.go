@@ -7,10 +7,19 @@
 // transport over the job manager in internal/service; the API is
 // specified in docs/api.md and the concurrency model in ARCHITECTURE.md.
 //
+// With -data-dir the service is crash-safe: series, submissions, stream
+// appends, per-length engine checkpoints, and job outcomes persist to a
+// write-ahead log under the directory, and a restarted process replays it
+// — terminal jobs answer status queries again, interrupted discoveries
+// resume from their last checkpoint under their original IDs, interrupted
+// streams rebuild from their logged appends. docs/operations.md is the
+// operator's guide (layout, guarantees, recovery runbook).
+//
 // Usage:
 //
 //	valmod-serve [-addr :8422] [-max-concurrent 2] [-cache-entries 64]
-//	             [-max-jobs 256] [-max-series 64]
+//	             [-max-jobs 256] [-max-series 64] [-data-dir DIR]
+//	             [-max-job-sec 0] [-checkpoint-every 8]
 //
 // Quick check once it is running:
 //
@@ -42,19 +51,24 @@ func main() {
 		maxSer   = flag.Int("max-series", 64, "uploaded series retained for reuse")
 		maxBody  = flag.Int64("max-body-mb", 64, "request body cap in MiB (negative disables)")
 		maxQueue = flag.Int("max-queue", 64, "live (queued+running) jobs admitted before submissions get 429")
+		dataDir  = flag.String("data-dir", "", "directory for the write-ahead log; enables crash-safe restarts (empty = in-memory only)")
+		maxSec   = flag.Int("max-job-sec", 0, "server-side cap on each discover job's executing wall-clock seconds; bounds client timeout_sec from above (0 = no cap)")
+		ckptEv   = flag.Int("checkpoint-every", 8, "checkpoint cadence for durable discover jobs, in completed lengths")
 	)
 	flag.Parse()
 	cfg := service.Config{
-		MaxConcurrent: *maxConc,
-		CacheEntries:  *cache,
-		MaxJobs:       *maxJobs,
-		MaxSeries:     *maxSer,
-		MaxBodyBytes:  *maxBody << 20,
-		MaxQueue:      *maxQueue,
+		MaxConcurrent:   *maxConc,
+		CacheEntries:    *cache,
+		MaxJobs:         *maxJobs,
+		MaxSeries:       *maxSer,
+		MaxBodyBytes:    *maxBody << 20,
+		MaxQueue:        *maxQueue,
+		MaxJobSeconds:   *maxSec,
+		CheckpointEvery: *ckptEv,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, cfg, nil); err != nil {
+	if err := run(ctx, *addr, *dataDir, cfg, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "valmod-serve:", err)
 		os.Exit(1)
 	}
@@ -62,13 +76,30 @@ func main() {
 
 // run serves until ctx is canceled, then shuts down gracefully. It is
 // split from main (addr may be ":0", ready reports the bound address) so
-// tests can drive it.
-func run(ctx context.Context, addr string, cfg service.Config, ready func(net.Addr)) error {
+// tests can drive it. A non-empty dataDir opens the write-ahead log and
+// replays it before the listener accepts traffic, so recovered jobs are
+// queryable from the first request.
+func run(ctx context.Context, addr, dataDir string, cfg service.Config, ready func(net.Addr)) error {
+	var wal *service.WAL
+	if dataDir != "" {
+		var err error
+		wal, err = service.OpenWAL(dataDir)
+		if err != nil {
+			return err
+		}
+		defer wal.Close()
+		cfg.Store = wal
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
 	m := service.NewManager(cfg)
+	if wal != nil {
+		if err := m.Recover(wal.Recovered()); err != nil {
+			return err
+		}
+	}
 	srv := &http.Server{
 		Handler: service.NewServer(m),
 		// Derive request contexts from ctx so long-lived handlers (SSE

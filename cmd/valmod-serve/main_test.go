@@ -19,7 +19,7 @@ func TestServeEndToEnd(t *testing.T) {
 	addrc := make(chan net.Addr, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", service.Config{MaxConcurrent: 1}, func(a net.Addr) { addrc <- a })
+		done <- run(ctx, "127.0.0.1:0", "", service.Config{MaxConcurrent: 1}, func(a net.Addr) { addrc <- a })
 	}()
 	var base string
 	select {
@@ -90,7 +90,7 @@ func TestServeShutdownWithOpenSSE(t *testing.T) {
 	addrc := make(chan net.Addr, 1)
 	done := make(chan error, 1)
 	go func() {
-		done <- run(ctx, "127.0.0.1:0", service.Config{MaxConcurrent: 1}, func(a net.Addr) { addrc <- a })
+		done <- run(ctx, "127.0.0.1:0", "", service.Config{MaxConcurrent: 1}, func(a net.Addr) { addrc <- a })
 	}()
 	var base string
 	select {

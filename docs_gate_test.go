@@ -67,7 +67,7 @@ func TestDocsGateREADMELinks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, want := range []string{"ARCHITECTURE.md", "docs/api.md", "examples/README.md"} {
+	for _, want := range []string{"ARCHITECTURE.md", "docs/api.md", "docs/operations.md", "examples/README.md"} {
 		if _, err := os.Stat(want); err != nil {
 			t.Errorf("%s: %v", want, err)
 		}

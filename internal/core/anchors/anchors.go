@@ -143,6 +143,53 @@ func (s *Store) DrainHotRows(release func([]float64)) {
 	s.hotCount = 0
 }
 
+// Snapshot is the serializable image of a Store: the per-anchor partial
+// profiles plus the hot-row cache. It is the anchors section of an engine
+// checkpoint — resuming a pruned run bit-identically requires the hot rows
+// too, because a hot anchor resolves through a different (equally exact,
+// but not bit-equal) arithmetic path than a cold one.
+type Snapshot struct {
+	States []State
+	// HotAnchors lists the hot anchor offsets in ascending order; HotLens
+	// and HotRows are parallel to it. Rows are stored at their full
+	// retained length (later lengths read a shrinking prefix).
+	HotAnchors []int32
+	HotLens    []int32
+	HotRows    [][]float64
+}
+
+// Snapshot captures the store's current state. The returned snapshot
+// aliases the live slices (states, entries, rows) — it is a view for
+// immediate serialization between per-length passes, not a defensive copy.
+func (s *Store) Snapshot() *Snapshot {
+	sn := &Snapshot{States: s.states}
+	for i, row := range s.hotRows {
+		if row != nil {
+			sn.HotAnchors = append(sn.HotAnchors, int32(i))
+			sn.HotLens = append(sn.HotLens, s.hotLens[i])
+			sn.HotRows = append(sn.HotRows, row)
+		}
+	}
+	return sn
+}
+
+// Restore loads a snapshot into the store. Hot rows are copied into
+// buffers acquired through getRow so the engine's row-pool accounting
+// (every retained row drains back through putRow at run end) stays exact.
+// The store must have been built for the same anchor count.
+func (s *Store) Restore(sn *Snapshot, getRow func(n int) []float64) {
+	copy(s.states, sn.States)
+	s.DrainHotRows(func([]float64) {})
+	for k, i := range sn.HotAnchors {
+		src := sn.HotRows[k]
+		row := getRow(len(src))[:len(src)]
+		copy(row, src)
+		s.hotRows[i] = row
+		s.hotLens[i] = sn.HotLens[k]
+		s.hotCount++
+	}
+}
+
 // ShardsInto is Shards appending into buf (reused across lengths by the
 // advance pass so the steady state allocates nothing).
 func (s *Store) ShardsInto(n, count int, buf []Shard) []Shard {

@@ -168,6 +168,22 @@ type Config struct {
 	// goroutine running the engine. A slow callback slows the run; the run
 	// still honors context cancellation between lengths.
 	OnLength func(Progress)
+	// OnCheckpoint, when non-nil, receives a serialized engine checkpoint
+	// (see checkpoint.go) after completed lengths, on the engine goroutine;
+	// the blob is valid only during the callback (durable consumers write
+	// it out before returning). Resume through Engine.ResumeRun is
+	// byte-identical to the uninterrupted run at every worker count. An
+	// error return disables further checkpoints for the run without
+	// failing it. Ignored by the fast coarse-to-fine plans
+	// (LengthSkip/LengthStride) and rejected when custom RunSinks
+	// consumers are registered — only Engine.Run's built-in sink pipeline
+	// is serializable.
+	OnCheckpoint func(ckpt []byte) error
+	// CheckpointEvery emits a checkpoint every k-th completed length
+	// (default 1 — every length boundary). Larger values amortize the
+	// O(state) serialization over more compute at the cost of more lost
+	// work on a crash. No effect unless OnCheckpoint is set.
+	CheckpointEvery int
 }
 
 // Fill substitutes the effective defaults for zero/out-of-range fields.

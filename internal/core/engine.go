@@ -2,11 +2,13 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"github.com/seriesmining/valmod/internal/core/anchors"
+	"github.com/seriesmining/valmod/internal/faultinject"
 	"github.com/seriesmining/valmod/internal/fft"
 	"github.com/seriesmining/valmod/internal/profile"
 	"github.com/seriesmining/valmod/internal/series"
@@ -114,6 +116,14 @@ type run struct {
 
 	// planStats instruments the per-length planner for this run.
 	planStats PlanStats
+
+	// ckptOff latches after a checkpoint capture or delivery fails: the
+	// run keeps computing, it just stops emitting checkpoints (resume then
+	// falls back to an older checkpoint or a scratch re-run, both exact).
+	ckptOff bool
+	// tHash caches the series content hash across checkpoint captures.
+	tHash  [32]byte
+	hashed bool
 
 	// cached sliding moments of the current working length; invStds[j] is
 	// 1/σ_j (0 for degenerate windows) so the hot loops run division-free;
@@ -225,9 +235,24 @@ func (e *Engine) RunSinks(ctx context.Context, t []float64, cfg Config, sinks ..
 
 // runSinks is RunSinks returning the per-length plan instrumentation.
 func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []Sink) (PlanStats, error) {
+	return e.runSinksFrom(ctx, t, cfg, sinks, nil)
+}
+
+// runSinksFrom is runSinks optionally resuming from a decoded checkpoint:
+// the run's carried state is restored before the loop and processing
+// starts at the checkpoint's next plan index. resume == nil runs from
+// scratch.
+func (e *Engine) runSinksFrom(ctx context.Context, t []float64, cfg Config, sinks []Sink, resume *ckptPayload) (PlanStats, error) {
 	cfg.Fill()
 	if err := cfg.validate(len(t)); err != nil {
 		return PlanStats{}, err
+	}
+	var cs ckptSinks
+	if cfg.OnCheckpoint != nil || resume != nil {
+		var ok bool
+		if cs, ok = builtinSinks(sinks); !ok {
+			return PlanStats{}, fmt.Errorf("%w: checkpointing requires the built-in sink pipeline", ErrBadConfig)
+		}
 	}
 	sMin := len(t) - cfg.LMin + 1
 	workers := cfg.Workers
@@ -260,6 +285,12 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 	}()
 
 	if fm := newFastMode(r, sinks); fm != nil {
+		// The coarse-to-fine plans never emit checkpoints (their refine
+		// phase revisits earlier lengths, so a length boundary is not a
+		// consistent cut); a scratch re-run is the exact resume fallback.
+		if resume != nil {
+			return PlanStats{}, fmt.Errorf("%w: fast-mode plans (LengthSkip/LengthStride) do not support resume", ErrBadCheckpoint)
+		}
 		return fm.run()
 	}
 
@@ -283,11 +314,18 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 		}
 	}
 
-	for idx, l := 0, cfg.LMin; l <= cfg.LMax; idx, l = idx+1, l+1 {
+	startIdx := 0
+	if resume != nil {
+		startIdx = r.restore(resume)
+	}
+	for idx, l := startIdx, cfg.LMin+startIdx; l <= cfg.LMax; idx, l = idx+1, l+1 {
 		select {
 		case <-ctx.Done():
 			return r.planStats, ctx.Err()
 		default:
+		}
+		if err := faultinject.Hit("core.length"); err != nil {
+			return r.planStats, err
 		}
 		done := idx + 1
 		switch plans[idx] {
@@ -313,6 +351,7 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 				lr := LengthResult{M: l, Pairs: mp.TopKPairsInto(cfg.TopK, &r.topk)}
 				lr.Stats.FullRecompute = true
 				dispatch(LengthData{L: l, Result: lr, Profile: mp}, done)
+				r.maybeCheckpoint(cs, done, total)
 				continue
 			}
 			lr, _, err := r.processLength(l)
@@ -342,6 +381,7 @@ func (e *Engine) runSinks(ctx context.Context, t []float64, cfg Config, sinks []
 			}
 			dispatch(LengthData{L: l, Result: lr, Profile: mp}, done)
 		}
+		r.maybeCheckpoint(cs, done, total)
 	}
 	return r.planStats, nil
 }

@@ -49,6 +49,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/seriesmining/valmod/internal/faultinject"
 	"github.com/seriesmining/valmod/internal/fft"
 	"github.com/seriesmining/valmod/internal/kernels"
 	"github.com/seriesmining/valmod/internal/profile"
@@ -120,6 +121,11 @@ func NewStreamer(cfg Config) (*Streamer, error) {
 	return s, nil
 }
 
+// Cfg returns the stream's effective configuration (defaults filled) —
+// what ResumeStreamer must be handed to restore a checkpoint of this
+// stream.
+func (s *Streamer) Cfg() Config { return s.cfg }
+
 // N returns the number of retained points (= total appended, in uncapped
 // mode).
 func (s *Streamer) N() int { return len(s.t) }
@@ -142,6 +148,9 @@ func (s *Streamer) Series() []float64 { return s.t }
 // with ErrBadValue before any state changes. In sliding-window mode the
 // retained series is then trimmed to the trailing WindowCap points.
 func (s *Streamer) Append(values []float64) error {
+	if err := faultinject.Hit("core.append"); err != nil {
+		return err
+	}
 	for k, v := range values {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return fmt.Errorf("%w: values[%d]=%v", ErrBadValue, k, v)
@@ -469,4 +478,101 @@ func (s *Streamer) materialize(ls *streamLen, mp *profile.MatrixProfile) LengthD
 	s.degs = applyDegenerateFixup(mp, ls.invs, ls.excl, s.degs[:0])
 	lr.Pairs = mp.TopKPairsInto(s.cfg.TopK, &s.topk)
 	return LengthData{L: ls.l, Result: lr, Profile: mp}
+}
+
+// streamCkptPayload is the gob image of a Streamer between Appends: the
+// retained series, the total appended count, and every length's carried
+// column/winner state. Stats and the derived per-length constants are
+// rebuilt on resume (series.Stats.Append is bit-identical to a rebuild, so
+// recomputing them cannot perturb results). Slices alias live stream state
+// at capture time — encoding happens synchronously inside Checkpoint.
+type streamCkptPayload struct {
+	CfgDigest string
+	Total     int
+	T         []float64
+	Lens      []streamLenCkpt
+}
+
+// streamLenCkpt is one length's carried state.
+type streamLenCkpt struct {
+	L           int
+	Col, Corr   []float64
+	Idx         []int32
+	Means, Invs []float64
+}
+
+// streamCfgDigest extends the batch config digest with the streaming-only
+// result-affecting knob (WindowCap). Workers stays excluded: stream output
+// is worker-count invariant.
+func streamCfgDigest(c Config) string {
+	return fmt.Sprintf("%s wcap=%d", cfgDigest(c), c.WindowCap)
+}
+
+// Checkpoint serializes the stream's full state between Appends into a
+// versioned, checksummed blob. ResumeStreamer over the same configuration
+// restores a stream whose every future Append and Snapshot is
+// bit-identical to the original's — the carried state is restored exactly
+// and everything else (moment sums, FFT plans) is a deterministic pure
+// function of the retained series. Unlike the batch engine's cadence-driven
+// Config.OnCheckpoint, stream checkpoints are caller-pulled: the serving
+// layer takes one every N appends.
+func (s *Streamer) Checkpoint() ([]byte, error) {
+	p := &streamCkptPayload{
+		CfgDigest: streamCfgDigest(s.cfg),
+		Total:     s.total,
+		T:         s.t,
+	}
+	for i := range s.lens {
+		ls := &s.lens[i]
+		p.Lens = append(p.Lens, streamLenCkpt{
+			L: ls.l, Col: ls.col, Corr: ls.corr, Idx: ls.idx,
+			Means: ls.means, Invs: ls.invs,
+		})
+	}
+	return encodeFrame(streamMagic, p)
+}
+
+// ResumeStreamer reconstructs a Streamer from a Checkpoint blob taken
+// under the same configuration (Workers may differ). Mismatched, corrupted
+// or truncated blobs fail with ErrBadCheckpoint; the caller's fallback is
+// replaying the appends into a fresh stream, which the chunking-invariance
+// contract makes equally exact.
+func ResumeStreamer(cfg Config, ckpt []byte) (*Streamer, error) {
+	s, err := NewStreamer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p := &streamCkptPayload{}
+	if err := decodeFrame(streamMagic, ckpt, p); err != nil {
+		return nil, err
+	}
+	if got := streamCfgDigest(s.cfg); p.CfgDigest != got {
+		return nil, fmt.Errorf("%w: config mismatch (checkpoint %q, stream %q)", ErrBadCheckpoint, p.CfgDigest, got)
+	}
+	if len(p.Lens) != len(s.lens) {
+		return nil, fmt.Errorf("%w: %d length sections, want %d", ErrBadCheckpoint, len(p.Lens), len(s.lens))
+	}
+	if p.Total < len(p.T) {
+		return nil, fmt.Errorf("%w: total %d below retained %d", ErrBadCheckpoint, p.Total, len(p.T))
+	}
+	s.t = p.T
+	s.st = series.NewStats(s.t)
+	s.total = p.Total
+	for i := range s.lens {
+		ls, lp := &s.lens[i], &p.Lens[i]
+		if lp.L != ls.l {
+			return nil, fmt.Errorf("%w: length section %d is for ℓ=%d, want %d", ErrBadCheckpoint, i, lp.L, ls.l)
+		}
+		sl := len(s.t) - ls.l + 1
+		if sl < 0 {
+			sl = 0
+		}
+		if len(lp.Col) != sl || len(lp.Corr) != sl || len(lp.Idx) != sl ||
+			len(lp.Means) != sl || len(lp.Invs) != sl {
+			return nil, fmt.Errorf("%w: length ℓ=%d sections have inconsistent sizes", ErrBadCheckpoint, ls.l)
+		}
+		ls.col, ls.corr, ls.idx = lp.Col, lp.Corr, lp.Idx
+		ls.means, ls.invs = lp.Means, lp.Invs
+	}
+	return s, nil
 }

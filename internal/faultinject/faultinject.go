@@ -1,0 +1,33 @@
+// Package faultinject provides deterministic, test-only fault injection
+// for the crash-safety suite. Production code marks injection points with
+// Hit(point); tests compiled with the `faultinject` build tag arm a point
+// to panic or return an error at its nth hit. Without the tag the arming
+// API does not exist and Hit compiles to an inlined `return nil`, so
+// release builds carry no branch, no counter, and no way to trigger a
+// fault — the harness is compiled in for tests only.
+//
+// Determinism: a point fires at an exact hit count, never at random, so a
+// chaos run is reproducible from (point, n) alone. NthFromSeed derives the
+// hit count from a seed for randomized-but-replayable campaigns.
+//
+// Injection points currently marked:
+//
+//	core.length     — between per-length passes of a batch discovery
+//	core.append     — between chunks of a streaming append
+//	wal.write       — before a WAL record write (service durability layer)
+//	wal.checkpoint  — before a checkpoint blob write
+package faultinject
+
+// NthFromSeed maps a campaign seed onto a hit count in [1, max]: a tiny
+// splitmix64 step, so seed-driven chaos campaigns stay reproducible
+// without importing math/rand into injection-point call sites.
+func NthFromSeed(seed int64, max int) int {
+	if max < 1 {
+		return 1
+	}
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return int(z%uint64(max)) + 1
+}

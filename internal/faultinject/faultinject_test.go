@@ -1,0 +1,26 @@
+package faultinject
+
+import "testing"
+
+func TestNthFromSeedDeterministicAndInRange(t *testing.T) {
+	for seed := int64(-3); seed < 50; seed++ {
+		for _, max := range []int{1, 2, 7, 100} {
+			a, b := NthFromSeed(seed, max), NthFromSeed(seed, max)
+			if a != b {
+				t.Fatalf("seed=%d max=%d: not deterministic (%d vs %d)", seed, max, a, b)
+			}
+			if a < 1 || a > max {
+				t.Fatalf("seed=%d max=%d: %d out of [1,%d]", seed, max, a, max)
+			}
+		}
+	}
+	if got := NthFromSeed(42, 0); got != 1 {
+		t.Fatalf("max<1 should clamp to 1, got %d", got)
+	}
+}
+
+func TestHitDisarmedIsNil(t *testing.T) {
+	if err := Hit("nonexistent.point"); err != nil {
+		t.Fatalf("disarmed Hit returned %v", err)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !faultinject
+
+package faultinject
+
+// Hit marks an injection point. In production builds (no `faultinject`
+// tag) it is a constant nil the compiler inlines away.
+func Hit(point string) error { return nil }

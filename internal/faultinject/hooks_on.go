@@ -1,0 +1,85 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+)
+
+// mode is what an armed point does when it fires.
+type mode int
+
+const (
+	modeError mode = iota
+	modePanic
+)
+
+type arming struct {
+	nth  int // fire on the nth Hit (1-based)
+	hits int
+	mode mode
+	err  error
+}
+
+var (
+	mu     sync.Mutex
+	points = map[string]*arming{}
+)
+
+// Reset disarms every point and zeroes every counter. Call from each test
+// before arming.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	points = map[string]*arming{}
+}
+
+// ArmError makes point's nth Hit return err (subsequent hits pass).
+func ArmError(point string, nth int, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[point] = &arming{nth: nth, mode: modeError, err: err}
+}
+
+// ArmPanic makes point's nth Hit panic (subsequent hits pass).
+func ArmPanic(point string, nth int) {
+	mu.Lock()
+	defer mu.Unlock()
+	points[point] = &arming{nth: nth, mode: modePanic}
+}
+
+// Hits returns how many times point has been hit since it was armed.
+func Hits(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if a := points[point]; a != nil {
+		return a.hits
+	}
+	return 0
+}
+
+// Hit marks an injection point: it counts the call and, at the armed nth
+// hit, panics or returns the armed error. Disarmed points return nil.
+func Hit(point string) error {
+	mu.Lock()
+	a := points[point]
+	if a == nil {
+		mu.Unlock()
+		return nil
+	}
+	a.hits++
+	fire := a.hits == a.nth
+	m, err := a.mode, a.err
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	if m == modePanic {
+		panic(fmt.Sprintf("faultinject: injected panic at %s (hit %d)", point, a.nth))
+	}
+	if err == nil {
+		err = fmt.Errorf("faultinject: injected error at %s (hit %d)", point, a.nth)
+	}
+	return err
+}

@@ -1,0 +1,32 @@
+//go:build faultinject
+
+package faultinject
+
+import "testing"
+
+func TestArmErrorFiresExactlyOnce(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmError("p", 3, nil)
+	for i := 1; i <= 5; i++ {
+		err := Hit("p")
+		if (err != nil) != (i == 3) {
+			t.Fatalf("hit %d: err=%v", i, err)
+		}
+	}
+	if Hits("p") != 5 {
+		t.Fatalf("Hits=%d, want 5", Hits("p"))
+	}
+}
+
+func TestArmPanicFires(t *testing.T) {
+	Reset()
+	defer Reset()
+	ArmPanic("q", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected injected panic")
+		}
+	}()
+	_ = Hit("q")
+}

@@ -1,0 +1,177 @@
+//go:build faultinject
+
+// Chaos suite: runs only under `go test -tags faultinject`, which compiles
+// the real fault-injection hooks into the engine and WAL. Each test arms
+// one injection point deterministically (exact nth hit, never random) and
+// asserts the blast radius: a fault fails exactly the job that hit it, and
+// the rest of the service keeps working.
+package service
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/seriesmining/valmod/internal/faultinject"
+)
+
+var errInjected = errors.New("injected fault")
+
+// TestChaosLengthPanicFailsOnlyThatJob: a panic between length passes of
+// one discovery is recovered on that job's goroutine — the job fails with
+// the panic and stack in its reason, and the next job runs normally.
+func TestChaosLengthPanicFailsOnlyThatJob(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	faultinject.ArmPanic("core.length", 3)
+	m := NewManager(Config{MaxConcurrent: 1})
+	values := testSeries(1200)
+	victim, err := m.Submit(JobRequest{Values: values, LMin: 16, LMax: 48, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, victim)
+	if st.State != StateFailed {
+		t.Fatalf("victim state=%s, want failed", st.State)
+	}
+	if !strings.Contains(st.Error, "job panicked") || !strings.Contains(st.Error, "injected panic at core.length") {
+		t.Fatalf("victim error %q does not carry the recovered panic", st.Error)
+	}
+	bystander, err := m.Submit(JobRequest{Values: values, LMin: 20, LMax: 52, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, bystander); st.State != StateDone {
+		t.Fatalf("bystander after a panic: state=%s err=%q, want done", st.State, st.Error)
+	}
+}
+
+// TestChaosAppendPanicSealsOnlyThatStream: a panic inside one stream's
+// append path seals that stream (failed, further appends rejected) and
+// leaves a concurrent stream untouched.
+func TestChaosAppendPanicSealsOnlyThatStream(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	m := NewManager(Config{})
+	req := JobRequest{Kind: KindStream, LMin: 8, LMax: 12, Workers: 1}
+	victim, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bystander, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := testSeries(50)
+	if err := victim.AppendStream(chunk); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.ArmPanic("core.append", 1)
+	err = victim.AppendStream(chunk)
+	if err == nil || !strings.Contains(err.Error(), "append panicked") {
+		t.Fatalf("append during panic: err=%v, want recovered panic", err)
+	}
+	if st := victim.Status(); st.State != StateFailed {
+		t.Fatalf("victim state=%s, want failed", st.State)
+	}
+	if err := victim.AppendStream(chunk); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("append to sealed stream: err=%v, want ErrStreamClosed", err)
+	}
+	// The injection fired once; the bystander stream keeps working.
+	if err := bystander.AppendStream(chunk); err != nil {
+		t.Fatalf("bystander append after victim's panic: %v", err)
+	}
+	bystander.Cancel()
+	if st := waitTerminal(t, bystander); st.State != StateDone {
+		t.Fatalf("bystander close: state=%s err=%q", st.State, st.Error)
+	}
+}
+
+// TestChaosWALWriteFailureFailsSubmission: a submission whose submit
+// record cannot be made durable is rejected with the store's error — the
+// job must not run with no trace on disk — and the next submission, with
+// the log healthy again, succeeds.
+func TestChaosWALWriteFailureFailsSubmission(t *testing.T) {
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	faultinject.Reset() // after OpenWAL: the header write also hits wal.write
+	t.Cleanup(faultinject.Reset)
+	m := NewManager(Config{Store: wal})
+	values := testSeries(600)
+
+	faultinject.ArmError("wal.write", 1, errInjected)
+	if _, err := m.Submit(JobRequest{Values: values, LMin: 16, LMax: 24, Workers: 1}); !errors.Is(err, errInjected) {
+		t.Fatalf("submit with failing log: err=%v, want the injected error", err)
+	}
+	job, err := m.Submit(JobRequest{Values: values, LMin: 16, LMax: 24, Workers: 1})
+	if err != nil {
+		t.Fatalf("submit after log recovered: %v", err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("job after recovered log: state=%s err=%q", st.State, st.Error)
+	}
+}
+
+// TestChaosStreamAppendWriteFailureSealsStream: a chunk the engine
+// accepted but the log refused must seal the stream — acknowledging it
+// would let the live state diverge from what a restart can rebuild.
+func TestChaosStreamAppendWriteFailureSealsStream(t *testing.T) {
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	m := NewManager(Config{Store: wal})
+	job, err := m.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 12, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := testSeries(50)
+	if err := job.AppendStream(chunk); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.ArmError("wal.write", 1, errInjected)
+	err = job.AppendStream(chunk)
+	if err == nil || !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("append with failing log: err=%v, want durability failure", err)
+	}
+	if st := job.Status(); st.State != StateFailed {
+		t.Fatalf("stream state=%s, want failed", st.State)
+	}
+	if err := job.AppendStream(chunk); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("append after seal: err=%v, want ErrStreamClosed", err)
+	}
+}
+
+// TestChaosCheckpointWriteFailureIsNonFatal: a checkpoint the store could
+// not take stops further checkpointing but never the discovery — the
+// durable fallback after a crash is a from-scratch re-run, which the
+// determinism contract makes byte-identical.
+func TestChaosCheckpointWriteFailureIsNonFatal(t *testing.T) {
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal.Close()
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	faultinject.ArmError("wal.checkpoint", 1, errInjected)
+	m := NewManager(Config{Store: wal, CheckpointEvery: 4})
+	job, err := m.Submit(JobRequest{Values: testSeries(1200), LMin: 16, LMax: 48, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("job with failing checkpoints: state=%s err=%q, want done", st.State, st.Error)
+	}
+	// The engine latches checkpointing off after the first failure rather
+	// than retrying a broken store every cadence boundary.
+	if hits := faultinject.Hits("wal.checkpoint"); hits != 1 {
+		t.Fatalf("checkpoint attempts after failure: %d hits, want exactly 1", hits)
+	}
+}

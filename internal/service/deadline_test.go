@@ -1,0 +1,152 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+// longRequest is a discovery big enough to run well past one second on any
+// hardware, so a 1-second budget reliably interrupts it mid-run.
+func longRequest() JobRequest {
+	return JobRequest{Values: testSeries(20000), LMin: 16, LMax: 300, Workers: 1}
+}
+
+// TestTimeoutSecFailsWithDeadlineReason: a job that blows its client-set
+// wall-clock budget ends failed — not canceled, nobody asked it to stop —
+// with a distinct "deadline exceeded" reason.
+func TestTimeoutSecFailsWithDeadlineReason(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	req := longRequest()
+	req.TimeoutSec = 1
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, job)
+	if st.State != StateFailed {
+		t.Fatalf("state=%s err=%q, want failed", st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "deadline exceeded") {
+		t.Fatalf("error %q does not name the deadline", st.Error)
+	}
+}
+
+// TestMaxJobSecondsCapsEveryJob: the server-side cap applies even when the
+// client asked for no (or a longer) timeout.
+func TestMaxJobSecondsCapsEveryJob(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1, MaxJobSeconds: 1})
+	req := longRequest()
+	req.TimeoutSec = 3600 // client asks for more; the server cap wins
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	st := waitTerminal(t, job)
+	if st.State != StateFailed || !strings.Contains(st.Error, "deadline exceeded") {
+		t.Fatalf("state=%s err=%q, want deadline failure", st.State, st.Error)
+	}
+	// Generous bound: the engine notices the deadline between length
+	// passes, so runaway means minutes, not a few extra seconds.
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cap of 1s took %v to bite", elapsed)
+	}
+}
+
+// TestTimeoutExcludedFromCacheKey: two identical queries that differ only
+// in timeout_sec share one cache entry.
+func TestTimeoutExcludedFromCacheKey(t *testing.T) {
+	m := NewManager(Config{})
+	values := testSeries(600)
+	req := JobRequest{Values: values, LMin: 16, LMax: 24, Workers: 1, TimeoutSec: 600}
+	job, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("seed job: state=%s err=%q", st.State, st.Error)
+	}
+	req.TimeoutSec = 0
+	hit, err := m.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := hit.Status(); !st.CacheHit || st.State != StateDone {
+		t.Fatalf("resubmission with different timeout_sec: cache_hit=%t state=%s, want a cache hit", st.CacheHit, st.State)
+	}
+}
+
+// TestNegativeTimeoutRejected: timeout_sec < 0 is a client error, rejected
+// synchronously before any job is created.
+func TestNegativeTimeoutRejected(t *testing.T) {
+	m := NewManager(Config{})
+	_, err := m.Submit(JobRequest{Values: testSeries(600), LMin: 16, LMax: 24, TimeoutSec: -1})
+	if !errors.Is(err, valmod.ErrBadInput) {
+		t.Fatalf("err=%v, want ErrBadInput", err)
+	}
+}
+
+// TestEffectiveTimeout pins the cap-combining rule: the smaller positive
+// side wins, zero means unbounded from that side.
+func TestEffectiveTimeout(t *testing.T) {
+	cases := []struct {
+		req, cap int
+		want     time.Duration
+	}{
+		{0, 0, 0},
+		{5, 0, 5 * time.Second},
+		{0, 7, 7 * time.Second},
+		{5, 7, 5 * time.Second},
+		{9, 7, 7 * time.Second},
+	}
+	for _, c := range cases {
+		if got := effectiveTimeout(c.req, c.cap); got != c.want {
+			t.Errorf("effectiveTimeout(%d, %d) = %v, want %v", c.req, c.cap, got, c.want)
+		}
+	}
+}
+
+// TestStalledWatcherDoesNotBlockOthers: one SSE consumer that never reads
+// its channel must not stall the job's progress broadcast or any other
+// watcher — each Watch channel is served by its own goroutine off the
+// shared event log.
+func TestStalledWatcherDoesNotBlockOthers(t *testing.T) {
+	m := NewManager(Config{MaxConcurrent: 1})
+	job, err := m.Submit(JobRequest{Values: testSeries(1500), LMin: 16, LMax: 64, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stallCtx, stallCancel := context.WithCancel(context.Background())
+	defer stallCancel()
+	stalled := job.Watch(stallCtx)
+	defer func() {
+		stallCancel()
+		for range stalled { // drain so its goroutine exits under -race
+		}
+	}()
+
+	got := 0
+	live := make(chan struct{})
+	go func() {
+		defer close(live)
+		for range job.Watch(context.Background()) {
+			got++
+		}
+	}()
+	select {
+	case <-live:
+	case <-time.After(60 * time.Second):
+		t.Fatal("live watcher starved behind a stalled one")
+	}
+	if want := 64 - 16 + 1; got != want {
+		t.Fatalf("live watcher saw %d events, want %d", got, want)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("job: state=%s err=%q", st.State, st.Error)
+	}
+}

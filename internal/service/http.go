@@ -157,8 +157,14 @@ func (s *server) appendJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := job.AppendStream(body.Values); err != nil {
-		code := http.StatusBadRequest
-		if errors.Is(err, ErrStreamClosed) {
+		// Bad chunks and non-stream targets are the client's fault (400);
+		// a closed stream is a conflict (409); anything else — a lost
+		// append record, a sealed stream — is the server's (500).
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, valmod.ErrBadInput), errors.Is(err, ErrNotStream):
+			code = http.StatusBadRequest
+		case errors.Is(err, ErrStreamClosed):
 			code = http.StatusConflict
 		}
 		writeError(w, code, err)

@@ -223,7 +223,12 @@ func (j *Job) finish(res *Result, err error) {
 	switch {
 	case err == nil:
 		j.state, j.result = StateDone, res
-	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, context.DeadlineExceeded):
+		// A blown deadline is a failure, not a cancellation: nobody asked
+		// the job to stop, it ran out of budget. Keeping the two apart
+		// gives Status a distinct "deadline exceeded" failure reason.
+		j.state, j.err = StateFailed, err
+	case errors.Is(err, context.Canceled):
 		j.state, j.err = StateCanceled, err
 	default:
 		j.state, j.err = StateFailed, err

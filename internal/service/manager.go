@@ -8,8 +8,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	valmod "github.com/seriesmining/valmod"
 )
@@ -38,6 +40,27 @@ type Config struct {
 	// accumulated without bound (default 64). Cache hits don't count —
 	// they are born terminal and never occupy a slot.
 	MaxQueue int
+	// Store, when non-nil, makes the manager durable: series uploads,
+	// submissions, stream appends, engine checkpoints, and terminal
+	// outcomes are persisted through it, and Manager.Recover replays them
+	// after a restart. nil keeps everything in memory (the pre-WAL
+	// behavior).
+	Store Store
+	// MaxJobSeconds caps every discover job's executing wall-clock time
+	// (measured from when the job acquires an engine slot, so queue wait
+	// is not billed). It bounds client-supplied timeout_sec from above; a
+	// job that runs past its budget fails with a "deadline exceeded"
+	// reason. 0 means no server-side cap. Stream jobs are exempt: they
+	// hold no engine slot between appends.
+	MaxJobSeconds int
+	// CheckpointEvery sets the checkpoint cadence for durable discover
+	// jobs in completed lengths (default 8). A checkpoint serializes the
+	// engine's full carried state — dominated by the hot-row cache, tens
+	// of MB on jobs big enough to fill it — so per-length checkpointing
+	// is usually I/O-bound; raise the cadence to trade recovery
+	// granularity for throughput, lower it (1 = every length) when
+	// restarts must lose almost nothing. Ignored without a Store.
+	CheckpointEvery int
 }
 
 func (c *Config) fill() {
@@ -58,6 +81,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxQueue <= 0 {
 		c.MaxQueue = 64
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
 	}
 }
 
@@ -102,6 +128,17 @@ type JobRequest struct {
 	RefineRadius int  `json:"refine_radius,omitempty"`
 	Strict       bool `json:"strict,omitempty"`
 	Carry32      bool `json:"carry32,omitempty"`
+	// TimeoutSec caps this job's executing wall-clock time in seconds;
+	// the server's MaxJobSeconds bounds it from above (the effective
+	// budget is the smaller of the two). A job that exceeds it fails with
+	// a "deadline exceeded" reason — failed, not canceled, because nobody
+	// asked for it to stop. 0 leaves only the server cap. Excluded from
+	// the cache key: a submission answered from the cache or coalesced
+	// onto an identical running job does no work of its own to bound (a
+	// coalesced follower shares the leader's budget). Ignored by stream
+	// jobs. After a crash and restart the budget starts over — it bounds
+	// one execution attempt, not the job's lifetime.
+	TimeoutSec int `json:"timeout_sec,omitempty"`
 }
 
 // options maps the request's engine knobs onto valmod.Options.
@@ -170,6 +207,11 @@ type Manager struct {
 	base  *valmod.Engine // jobs run via base.WithOptions → shared pools
 	sem   chan struct{}
 	cache *resultCache
+	store Store // nil = in-memory only
+	// draining marks a shutdown in progress: jobs canceled while it is
+	// set get no terminal record in the store, so recovery re-queues them
+	// (a drain interruption is not an outcome the client asked for).
+	draining atomic.Bool
 
 	engineRuns  atomic.Int64
 	cacheHits   atomic.Int64
@@ -203,6 +245,7 @@ func NewManager(cfg Config) *Manager {
 		base:     valmod.NewEngine(valmod.Options{}),
 		sem:      make(chan struct{}, cfg.MaxConcurrent),
 		cache:    newResultCache(cfg.CacheEntries),
+		store:    cfg.Store,
 		jobs:     make(map[string]*Job),
 		inflight: make(map[cacheKey]*Job),
 		series:   make(map[string]*storedSeries),
@@ -230,13 +273,15 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
-// newID returns a fresh random handle with the given prefix.
-func newID(prefix string) string {
+// newID returns a fresh random handle with the given prefix. A failing
+// entropy source is reported as an error — it fails the one submission
+// that hit it instead of taking the whole process down.
+func newID(prefix string) (string, error) {
 	var b [9]byte
 	if _, err := rand.Read(b[:]); err != nil {
-		panic(err) // crypto/rand never fails on supported platforms
+		return "", fmt.Errorf("service: generate id: %w", err)
 	}
-	return prefix + hex.EncodeToString(b[:])
+	return prefix + hex.EncodeToString(b[:]), nil
 }
 
 // UploadSeries stores values for reference by later jobs and returns its
@@ -249,7 +294,24 @@ func (m *Manager) UploadSeries(values []float64) (SeriesInfo, error) {
 		return SeriesInfo{}, err
 	}
 	s := &storedSeries{values: values, hash: hashSeries(values)}
-	id := newID("s_")
+	id, err := newID("s_")
+	if err != nil {
+		return SeriesInfo{}, err
+	}
+	// Durable before visible: once a job can reference the ID, a restart
+	// must be able to resolve it.
+	if m.store != nil {
+		if err := m.store.SaveSeries(id, values); err != nil {
+			return SeriesInfo{}, fmt.Errorf("service: persist series: %w", err)
+		}
+	}
+	m.insertSeries(id, s)
+	return SeriesInfo{ID: id, N: len(values)}, nil
+}
+
+// insertSeries adds a validated series under id, applying the retention
+// cap. Shared by UploadSeries and recovery replay.
+func (m *Manager) insertSeries(id string, s *storedSeries) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.series[id] = s
@@ -259,7 +321,6 @@ func (m *Manager) UploadSeries(values []float64) (SeriesInfo, error) {
 		m.seriesOrder = m.seriesOrder[1:]
 		delete(m.series, evict)
 	}
-	return SeriesInfo{ID: id, N: len(values)}, nil
 }
 
 // Series returns the metadata of an uploaded series.
@@ -282,6 +343,9 @@ func (m *Manager) Series(id string) (SeriesInfo, bool) {
 func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	var values []float64
 	var hash [sha256.Size]byte
+	if req.TimeoutSec < 0 {
+		return nil, fmt.Errorf("%w: timeout_sec=%d: must be >= 0 (0 leaves only the server cap)", valmod.ErrBadInput, req.TimeoutSec)
+	}
 	opts := req.options()
 	switch req.Kind {
 	case "", "discover":
@@ -321,7 +385,14 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 
 	key := resultKey(hash, req.LMin, req.LMax, opts)
 	if res, ok := m.cache.Get(key); ok {
-		return m.cachedJob(res), nil
+		return m.cachedJob(res)
+	}
+	// The ID is minted before the lock (either branch below uses it) and
+	// the submission record is written after it: disk I/O never runs
+	// under m.mu.
+	id, err := newID("j_")
+	if err != nil {
+		return nil, err
 	}
 
 	m.mu.Lock()
@@ -341,7 +412,7 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 		if leader.tryAttach() {
 			m.liveJobs++
 			fctx, fcancel := context.WithCancel(context.Background())
-			follower := newJob(newID("j_"), fcancel)
+			follower := newJob(id, fcancel)
 			follower.ctxDone = fctx.Done()
 			follower.onCancel = func() {
 				fcancel()
@@ -349,6 +420,15 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 			}
 			m.registerJobLocked(follower)
 			m.mu.Unlock()
+			if err := m.persistSubmit(id, req); err != nil {
+				leader.withdrawVote()
+				fcancel()
+				follower.finish(nil, err)
+				m.mu.Lock()
+				m.liveJobs--
+				m.mu.Unlock()
+				return nil, err
+			}
 			m.coalesced.Add(1)
 			go m.follow(fctx, follower, leader)
 			return follower, nil
@@ -358,23 +438,42 @@ func (m *Manager) Submit(req JobRequest) (*Job, error) {
 	// finished (Put + inflight cleared) since the lock-free Get above.
 	if res, ok := m.cache.Get(key); ok {
 		m.mu.Unlock()
-		return m.cachedJob(res), nil
+		return m.cachedJob(res)
 	}
 	if m.liveJobs >= m.cfg.MaxQueue {
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	job := newJob(newID("j_"), cancel)
+	job := newJob(id, cancel)
 	job.ctxDone = ctx.Done()
 	m.liveJobs++
 	m.inflight[key] = job
 	m.registerJobLocked(job)
 	m.mu.Unlock()
+	if err := m.persistSubmit(id, req); err != nil {
+		cancel()
+		job.finish(nil, err)
+		m.clearInflight(key, job)
+		return nil, err
+	}
 	m.cacheMisses.Add(1)
 
-	go m.run(ctx, job, key, values, req.LMin, req.LMax, opts)
+	go m.run(ctx, job, key, values, req.LMin, req.LMax, opts, req.TimeoutSec, nil)
 	return job, nil
+}
+
+// persistSubmit records an accepted submission before its goroutine
+// starts. A store failure rejects the submission — running a job a
+// restart would silently forget is worse than making the client retry.
+func (m *Manager) persistSubmit(id string, req JobRequest) error {
+	if m.store == nil {
+		return nil
+	}
+	if err := m.store.SaveSubmit(id, req); err != nil {
+		return fmt.Errorf("service: persist submission: %w", err)
+	}
+	return nil
 }
 
 // follow mirrors a leader onto a follower job: the running transition and
@@ -389,6 +488,8 @@ func (m *Manager) follow(fctx context.Context, follower, leader *Job) {
 		m.mu.Unlock()
 	}()
 	defer follower.cancelCtx()
+	defer m.persistOutcome(follower)
+	defer guardJob(follower)
 	next := 0
 	running := false
 	for {
@@ -431,26 +532,38 @@ func (m *Manager) follow(fctx context.Context, follower, leader *Job) {
 }
 
 // cachedJob registers and returns a job born done with a cached result.
-func (m *Manager) cachedJob(res *Result) *Job {
+// Cache-hit jobs are not persisted: they did no work, and after a restart
+// an identical submission hits the cache or runs again.
+func (m *Manager) cachedJob(res *Result) (*Job, error) {
+	id, err := newID("j_")
+	if err != nil {
+		return nil, err
+	}
 	m.cacheHits.Add(1)
-	job := newJob(newID("j_"), func() {})
+	job := newJob(id, func() {})
 	job.cacheHit = true
 	job.state = StateDone
 	job.result = res
 	m.mu.Lock()
 	m.registerJobLocked(job)
 	m.mu.Unlock()
-	return job
+	return job, nil
 }
 
 // run executes one job: wait for a slot, run the engine with a per-job
-// progress callback, store the result in the cache, finish the job.
-func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []float64, lmin, lmax int, opts valmod.Options) {
+// progress callback (checkpointing through the store when one is
+// configured), store the result in the cache, finish the job. resume,
+// when non-nil, is a checkpoint blob from a previous process — the run
+// continues from it, falling back to a from-scratch run if the blob
+// doesn't validate (determinism makes the fallback equally exact).
+func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []float64, lmin, lmax int, opts valmod.Options, timeoutSec int, resume []byte) {
 	// Registered first so it runs last: by the time the in-flight slot
 	// clears, the job is terminal and (on success) the result is cached,
 	// so a concurrent identical Submit finds either this job or the cache.
 	defer m.clearInflight(key, job)
 	defer job.cancelCtx() // release the context's resources
+	defer m.persistOutcome(job)
+	defer guardJob(job)
 	select {
 	case m.sem <- struct{}{}:
 		defer func() { <-m.sem }()
@@ -459,6 +572,16 @@ func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []floa
 		return
 	}
 	job.setState(StateRunning)
+
+	// The wall-clock budget starts when the job starts executing, not
+	// while it waits in the queue (a queue wait bounded by other jobs'
+	// budgets is not this job's fault).
+	budget := effectiveTimeout(timeoutSec, m.cfg.MaxJobSeconds)
+	if budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, budget)
+		defer cancel()
+	}
 
 	// Clamp client-supplied parallelism to the machine: each engine worker
 	// clones O(n) FFT scratch, so an unbounded request could multiply
@@ -472,9 +595,30 @@ func (m *Manager) run(ctx context.Context, job *Job, key cacheKey, values []floa
 	opts.Progress = func(p valmod.Progress) {
 		job.publish(Event{Done: p.Done, Total: p.Total, Length: p.Result.Length})
 	}
+	if m.store != nil {
+		opts.CheckpointEvery = m.cfg.CheckpointEvery
+		opts.Checkpoint = func(b []byte) error {
+			return m.store.SaveCheckpoint(job.ID, b)
+		}
+	}
 	m.engineRuns.Add(1)
-	res, err := m.base.WithOptions(opts).DiscoverContext(ctx, values, lmin, lmax)
+	eng := m.base.WithOptions(opts)
+	var res *valmod.Result
+	var err error
+	if resume != nil {
+		res, err = eng.DiscoverResume(ctx, values, lmin, lmax, resume)
+		if errors.Is(err, valmod.ErrBadCheckpoint) {
+			// Stale or corrupt checkpoint: the from-scratch re-run is a
+			// byte-identical substitute under the determinism contract.
+			res, err = eng.DiscoverContext(ctx, values, lmin, lmax)
+		}
+	} else {
+		res, err = eng.DiscoverContext(ctx, values, lmin, lmax)
+	}
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = fmt.Errorf("deadline exceeded: job ran past its %v wall-clock budget: %w", budget, err)
+		}
 		job.finish(nil, err)
 		return
 	}
@@ -548,8 +692,13 @@ func (m *Manager) Cancel(id string) bool {
 
 // Shutdown force-cancels every live job (ignoring cancellation votes) so
 // the process can exit promptly. The manager remains usable, but a
-// serving process calls this only on its way down.
+// serving process calls this only on its way down. With a Store
+// configured the shutdown is checkpoint-aware: jobs interrupted by the
+// drain get no terminal record (their last durable checkpoint stays on
+// disk), so the next process re-queues and resumes them instead of
+// reporting them canceled.
 func (m *Manager) Shutdown() {
+	m.draining.Store(true)
 	m.mu.Lock()
 	jobs := make([]*Job, 0, len(m.jobs))
 	for _, j := range m.jobs {
@@ -559,4 +708,51 @@ func (m *Manager) Shutdown() {
 	for _, j := range jobs {
 		j.forceCancel()
 	}
+}
+
+// persistOutcome tees a job's terminal state through the store. Failures
+// are swallowed: the in-memory job is already terminal and correct, and
+// the worst consequence of a lost outcome record is a redundant re-run
+// after the next restart. Drain cancellations are deliberately not
+// persisted — see Shutdown.
+func (m *Manager) persistOutcome(job *Job) {
+	if m.store == nil {
+		return
+	}
+	state, res, err := job.terminalOutcome()
+	if !state.Terminal() {
+		return
+	}
+	if state == StateCanceled && m.draining.Load() {
+		return
+	}
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	if state != StateDone {
+		res = nil
+	}
+	_ = m.store.SaveOutcome(job.ID, state, msg, res)
+}
+
+// guardJob converts a panic on a job goroutine into that job's failure,
+// stack attached, so one poisoned input cannot take down the process or
+// any other job. Deferred last in m.run/m.follow so it runs before the
+// outcome is persisted.
+func guardJob(job *Job) {
+	if r := recover(); r != nil {
+		job.finish(nil, fmt.Errorf("service: job panicked: %v\n%s", r, debug.Stack()))
+	}
+}
+
+// effectiveTimeout combines the client's timeout_sec with the server's
+// MaxJobSeconds cap: the smaller positive one wins; zero means no bound
+// from that side.
+func effectiveTimeout(reqSec, capSec int) time.Duration {
+	sec := reqSec
+	if capSec > 0 && (sec == 0 || capSec < sec) {
+		sec = capSec
+	}
+	return time.Duration(sec) * time.Second
 }

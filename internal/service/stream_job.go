@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -38,6 +39,15 @@ type streamState struct {
 	// total mirrors s.Total() for lock-free Status reads.
 	total atomic.Int64
 
+	// persist tees each accepted chunk through the store — nil without
+	// one, and during recovery replay (those chunks are already logged).
+	// fail seals the stream and fails the job; AppendStream calls it when
+	// a chunk's durability is lost or the engine panics mid-append, since
+	// continuing either way would let the live stream diverge from what a
+	// restart could rebuild. Both are called with mu held.
+	persist func(values []float64) error
+	fail    func(err error)
+
 	pair       valmod.MotifPair
 	hasPair    bool
 	discord    valmod.Discord
@@ -62,22 +72,54 @@ func (m *Manager) submitStream(req JobRequest, opts valmod.Options) (*Job, error
 	if err != nil {
 		return nil, err
 	}
+	id, err := newID("j_")
+	if err != nil {
+		return nil, err
+	}
 	m.mu.Lock()
 	if m.liveJobs >= m.cfg.MaxQueue {
 		m.mu.Unlock()
 		return nil, ErrQueueFull
 	}
 	var job *Job
-	job = newJob(newID("j_"), func() { m.closeStream(job) })
+	job = newJob(id, func() { m.closeStream(job) })
 	job.kind = KindStream
-	job.stream = &streamState{s: st}
+	ss := &streamState{s: st}
+	job.stream = ss
+	if m.store != nil {
+		ss.persist = func(v []float64) error { return m.store.SaveAppend(job.ID, v) }
+	}
+	ss.fail = func(err error) { m.failStream(job, err) }
 	m.liveJobs++
 	m.registerJobLocked(job)
 	m.mu.Unlock()
+	if err := m.persistSubmit(id, req); err != nil {
+		ss.mu.Lock()
+		ss.closed = true
+		ss.mu.Unlock()
+		job.finish(nil, err)
+		m.mu.Lock()
+		m.liveJobs--
+		m.mu.Unlock()
+		return nil, err
+	}
 	// Born running: a stream job is "executing" from the moment it can
 	// accept appends.
 	job.setState(StateRunning)
 	return job, nil
+}
+
+// failStream seals a stream job with err: the engine panicked mid-append
+// or the log stopped accepting chunks, so continuing would let the live
+// stream diverge from what a restart could rebuild. Called with the
+// stream lock held (as ss.fail).
+func (m *Manager) failStream(job *Job, err error) {
+	job.stream.closed = true
+	job.finish(nil, err)
+	m.mu.Lock()
+	m.liveJobs--
+	m.mu.Unlock()
+	m.persistOutcome(job)
 }
 
 // closeStream is the stream job's cancel function (Job.Cancel and manager
@@ -107,6 +149,12 @@ func (m *Manager) closeStream(job *Job) {
 	m.mu.Lock()
 	m.liveJobs--
 	m.mu.Unlock()
+	// A drain close is an interruption, not an outcome: without a
+	// terminal record the next process rebuilds the stream live from its
+	// logged appends.
+	if !m.draining.Load() {
+		m.persistOutcome(job)
+	}
 }
 
 // AppendStream feeds the next chunk of points to a stream job and
@@ -117,7 +165,7 @@ func (m *Manager) closeStream(job *Job) {
 // sliding window evicts old points. Non-finite values reject the whole
 // chunk (wrapping valmod.ErrBadInput) and leave the stream untouched.
 // Safe for concurrent callers: appends serialize on the job's stream lock.
-func (j *Job) AppendStream(values []float64) error {
+func (j *Job) AppendStream(values []float64) (err error) {
 	ss := j.stream
 	if ss == nil {
 		return ErrNotStream
@@ -127,8 +175,36 @@ func (j *Job) AppendStream(values []float64) error {
 	if ss.closed {
 		return ErrStreamClosed
 	}
+	// A panic inside the append path fails this job alone — the engine
+	// state is suspect, so the stream seals rather than serving further
+	// appends from it.
+	defer func() {
+		if r := recover(); r != nil {
+			perr := fmt.Errorf("service: append panicked: %v\n%s", r, debug.Stack())
+			if ss.fail != nil {
+				ss.fail(perr)
+			} else {
+				ss.closed = true
+				j.finish(nil, perr)
+			}
+			err = perr
+		}
+	}()
 	if err := ss.s.Append(values); err != nil {
 		return err
+	}
+	// Chunk accepted → log it. A chunk the log didn't take must seal the
+	// stream: acknowledging it would let the live state diverge from what
+	// a restart can rebuild. (A crash between accept and log loses only
+	// the unacknowledged chunk — the client retries it.)
+	if ss.persist != nil {
+		if perr := ss.persist(values); perr != nil {
+			perr = fmt.Errorf("service: stream append not durable: %w", perr)
+			if ss.fail != nil {
+				ss.fail(perr)
+			}
+			return perr
+		}
 	}
 	ss.total.Store(int64(ss.s.Total()))
 	if !ss.s.Ready() {

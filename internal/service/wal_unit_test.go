@@ -1,0 +1,282 @@
+package service
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	valmod "github.com/seriesmining/valmod"
+)
+
+// TestWALCheckpointLifecycle pins the store contract for checkpoint
+// blobs: replace-in-place, survive reopen, and die with the outcome
+// record.
+func TestWALCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	wal, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.SaveCheckpoint("../evil", []byte("x")); err == nil {
+		t.Fatal("path-escaping job id accepted as a checkpoint name")
+	}
+	if err := wal.SaveSeries("s1", testSeries(40)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.SaveSubmit("j1", JobRequest{SeriesID: "s1", LMin: 8, LMax: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.SaveCheckpoint("j1", []byte("frame-1")); err != nil {
+		t.Fatal(err)
+	}
+	// A newer frame replaces the old one atomically.
+	if err := wal.SaveCheckpoint("j1", []byte("frame-2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+
+	wal2, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := wal2.Recovered()
+	if len(rec.Jobs) != 1 || string(rec.Jobs[0].Checkpoint) != "frame-2" {
+		t.Fatalf("reopened job carries checkpoint %q, want frame-2", rec.Jobs[0].Checkpoint)
+	}
+	// The outcome record retires the blob: recovery never resumes a job
+	// with a terminal record, so the frame is dead weight.
+	if err := wal2.SaveOutcome("j1", StateDone, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(wal2.ckptPath("j1")); !os.IsNotExist(err) {
+		t.Fatalf("checkpoint blob survives the outcome record: %v", err)
+	}
+	wal2.Close()
+
+	wal3, err := OpenWAL(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wal3.Close()
+	rec = wal3.Recovered()
+	if len(rec.Jobs) != 1 || !rec.Jobs[0].Done || rec.Jobs[0].Checkpoint != nil {
+		t.Fatalf("after outcome: done=%t ckpt=%v, want terminal stub without a frame",
+			rec.Jobs[0].Done, rec.Jobs[0].Checkpoint)
+	}
+}
+
+// TestWALClosedRejectsWrites: every record type fails once the log is
+// closed — silently dropping acknowledged work is the one unforgivable
+// direction.
+func TestWALClosedRejectsWrites(t *testing.T) {
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	if err := wal.SaveSeries("s", []float64{1, 2}); !errors.Is(err, errWALClosed) {
+		t.Fatalf("SaveSeries on closed log: %v", err)
+	}
+	if err := wal.SaveSubmit("j", JobRequest{}); !errors.Is(err, errWALClosed) {
+		t.Fatalf("SaveSubmit on closed log: %v", err)
+	}
+	if err := wal.SaveOutcome("j", StateDone, "", nil); !errors.Is(err, errWALClosed) {
+		t.Fatalf("SaveOutcome on closed log: %v", err)
+	}
+}
+
+// TestOpenWALBadDir: an unusable data directory is a startup error, not
+// a silently in-memory server.
+func TestOpenWALBadDir(t *testing.T) {
+	if _, err := OpenWAL("/dev/null/not-a-dir"); err == nil {
+		t.Fatal("OpenWAL under a non-directory succeeded")
+	}
+}
+
+// TestClosedStoreSealsStreamAndRejectsSubmits: when the log stops
+// accepting writes mid-flight, new work is refused and a stream whose
+// chunk could not be persisted is sealed — live state must never get
+// ahead of what a restart can rebuild.
+func TestClosedStoreSealsStreamAndRejectsSubmits(t *testing.T) {
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{Store: wal})
+	job, err := m.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 12, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunk := testSeries(50)
+	if err := job.AppendStream(chunk); err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	err = job.AppendStream(chunk)
+	if err == nil || !strings.Contains(err.Error(), "not durable") {
+		t.Fatalf("append with closed log: err=%v, want durability failure", err)
+	}
+	if st := job.Status(); st.State != StateFailed {
+		t.Fatalf("stream state=%s, want failed", st.State)
+	}
+	if err := job.AppendStream(chunk); !errors.Is(err, ErrStreamClosed) {
+		t.Fatalf("append after seal: err=%v, want ErrStreamClosed", err)
+	}
+	if _, err := m.Submit(JobRequest{Values: testSeries(600), LMin: 16, LMax: 24}); err == nil {
+		t.Fatal("submit with closed log succeeded")
+	}
+	if _, err := m.UploadSeries(testSeries(700)); err == nil {
+		t.Fatal("upload with closed log succeeded")
+	}
+}
+
+// TestJobEvictionKeepsLiveJobs: above MaxJobs the oldest *terminal* jobs
+// are evicted; a live job older than all of them is never touched.
+func TestJobEvictionKeepsLiveJobs(t *testing.T) {
+	m := NewManager(Config{MaxJobs: 2})
+	live, err := m.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 12, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	values := testSeries(600)
+	var done []*Job
+	// Distinct ranges so nothing caches or coalesces.
+	for _, lmax := range []int{24, 25, 26} {
+		j, err := m.Submit(JobRequest{Values: values, LMin: 16, LMax: lmax, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st := waitTerminal(t, j); st.State != StateDone {
+			t.Fatalf("job lmax=%d: state=%s err=%q", lmax, st.State, st.Error)
+		}
+		done = append(done, j)
+	}
+	if _, ok := m.Job(done[0].ID); ok {
+		t.Fatal("oldest terminal job survived above MaxJobs")
+	}
+	if _, ok := m.Job(live.ID); !ok {
+		t.Fatal("live stream job was evicted")
+	}
+	if _, ok := m.Job(done[2].ID); !ok {
+		t.Fatal("newest job was evicted")
+	}
+	live.Cancel()
+	waitTerminal(t, live)
+}
+
+// TestSeriesEviction: uploads above MaxSeries evict FIFO, and a job
+// referencing an evicted series is rejected at submit time.
+func TestSeriesEviction(t *testing.T) {
+	m := NewManager(Config{MaxSeries: 1})
+	s1, err := m.UploadSeries(testSeries(600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.UploadSeries(testSeries(700)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Series(s1.ID); ok {
+		t.Fatal("series above MaxSeries was retained")
+	}
+	_, err = m.Submit(JobRequest{SeriesID: s1.ID, LMin: 16, LMax: 24})
+	if !errors.Is(err, valmod.ErrBadInput) || !strings.Contains(err.Error(), "series_id") {
+		t.Fatalf("submit against evicted series: err=%v, want ErrBadInput naming series_id", err)
+	}
+}
+
+// TestResultCachePutEdges covers the Put branches the LRU test doesn't:
+// overwrite-in-place on an existing key and the disabled (capacity < 1)
+// no-op.
+func TestResultCachePutEdges(t *testing.T) {
+	c := newResultCache(2)
+	k := cacheKey{1}
+	r1, r2 := &Result{N: 1}, &Result{N: 2}
+	c.Put(k, r1)
+	c.Put(k, r2) // overwrite, not a second entry
+	if got, ok := c.Get(k); !ok || got != r2 {
+		t.Fatalf("overwritten key: got=%v ok=%t, want the newer result", got, ok)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len=%d after overwrite, want 1", c.Len())
+	}
+	d := newResultCache(0)
+	d.Put(k, r1)
+	if _, ok := d.Get(k); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+}
+
+// TestStreamSubmitErrors covers the stream admission branches: inline
+// values rejected, a bad range rejected, queue-full rejected, and a
+// submit record the store refuses unwinding the half-created job.
+func TestStreamSubmitErrors(t *testing.T) {
+	m := NewManager(Config{MaxQueue: 1})
+	if _, err := m.Submit(JobRequest{Kind: KindStream, Values: testSeries(50), LMin: 8, LMax: 12}); !errors.Is(err, valmod.ErrBadInput) {
+		t.Fatalf("stream with inline values: err=%v, want ErrBadInput", err)
+	}
+	if _, err := m.Submit(JobRequest{Kind: KindStream, LMin: 2, LMax: 12}); !errors.Is(err, valmod.ErrBadInput) {
+		t.Fatalf("stream with lmin=2: err=%v, want ErrBadInput", err)
+	}
+	open, err := m.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 12}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("stream above MaxQueue: err=%v, want ErrQueueFull", err)
+	}
+	open.Cancel()
+	waitTerminal(t, open)
+
+	wal, err := OpenWAL(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal.Close()
+	md := NewManager(Config{Store: wal})
+	if _, err := md.Submit(JobRequest{Kind: KindStream, LMin: 8, LMax: 12}); !errors.Is(err, errWALClosed) {
+		t.Fatalf("stream submit with closed log: err=%v, want the store's error", err)
+	}
+}
+
+// TestHTTPStatsAndUnknownJob covers the stats endpoint shape and the
+// 404 paths for job lookups by the cancel and status handlers.
+func TestHTTPStatsAndUnknownJob(t *testing.T) {
+	m := NewManager(Config{})
+	ts := httptest.NewServer(NewServer(m))
+	defer ts.Close()
+	client := ts.Client()
+
+	job, err := m.Submit(JobRequest{Values: testSeries(600), LMin: 16, LMax: 24, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, job); st.State != StateDone {
+		t.Fatalf("seed job: state=%s err=%q", st.State, st.Error)
+	}
+	resp, err := client.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decode[Stats](t, resp)
+	if stats.EngineRuns != 1 {
+		t.Fatalf("stats report %d engine runs, want 1", stats.EngineRuns)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/j_nope", nil)
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown job: %d, want 404", resp.StatusCode)
+	}
+}

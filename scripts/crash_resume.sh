@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# crash_resume.sh — end-to-end witness that valmod-serve survives kill -9.
+#
+# Starts a server with -data-dir, submits an n=${CRASH_RESUME_N:-100000}
+# discovery, waits until a few lengths (and at least one engine checkpoint)
+# are durable, then SIGKILLs the process mid-run. A second server on the
+# same data directory must resume the job under its original ID and finish
+# it, and the recovered result must be byte-identical (canonicalized JSON)
+# to an uninterrupted run of the same request on a fresh directory. That
+# byte-for-byte equality is the whole point: resume-from-checkpoint is only
+# acceptable because the determinism contract makes it indistinguishable
+# from never having crashed.
+#
+# Usage: scripts/crash_resume.sh  (from the repo root; needs go + python3)
+set -euo pipefail
+
+N=${CRASH_RESUME_N:-100000}
+LMIN=64
+LMAX=73
+PORT=${CRASH_RESUME_PORT:-8431}
+BASE="http://127.0.0.1:${PORT}"
+WORK=$(mktemp -d)
+SRV_PID=""
+
+cleanup() {
+  [ -n "$SRV_PID" ] && kill -9 "$SRV_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build -o "$WORK/valmod-serve" ./cmd/valmod-serve
+
+echo "== synth series (n=$N)"
+python3 - "$N" "$LMIN" "$LMAX" "$WORK/req.json" <<'PY'
+import json, math, sys
+n, lmin, lmax, out = int(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3]), sys.argv[4]
+# Deterministic ECG-ish series: identical input for every run of this script.
+x, vals = 0.0, []
+for i in range(n):
+    x += math.sin(i * 0.031) * 0.6 + math.sin(i * 1.7) * 0.05
+    vals.append(round(x + math.sin(i * 0.8) * 0.3, 6))
+json.dump({"values": vals, "lmin": lmin, "lmax": lmax,
+           "topk": 4, "discords": 3, "workers": 1}, open(out, "w"))
+PY
+
+start_server() { # $1 = data dir
+  "$WORK/valmod-serve" -addr "127.0.0.1:${PORT}" -data-dir "$1" \
+    -max-concurrent 1 -checkpoint-every 2 &
+  SRV_PID=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$BASE/healthz" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "server did not come up" >&2
+  exit 1
+}
+
+poll_field() { # $1 = job id, $2 = python expr over status dict `s`
+  curl -fsS "$BASE/v1/jobs/$1" | python3 -c "
+import json, sys
+s = json.load(sys.stdin)
+print($2)
+"
+}
+
+wait_done() { # $1 = job id, $2 = out file for canonical result
+  for _ in $(seq 1 3600); do
+    state=$(poll_field "$1" "s['state']")
+    case "$state" in
+      done)
+        curl -fsS "$BASE/v1/jobs/$1" | python3 -c "
+import json, sys
+print(json.dumps(json.load(sys.stdin)['result'], sort_keys=True))
+" > "$2"
+        return 0 ;;
+      failed|canceled)
+        echo "job $1 ended $state" >&2
+        curl -fsS "$BASE/v1/jobs/$1" >&2 || true
+        exit 1 ;;
+    esac
+    sleep 1
+  done
+  echo "job $1 never finished" >&2
+  exit 1
+}
+
+echo "== run 1: start, submit, kill -9 mid-discovery"
+start_server "$WORK/durable"
+JOB=$(curl -fsS -X POST "$BASE/v1/jobs" --data-binary @"$WORK/req.json" |
+  python3 -c "import json,sys; print(json.load(sys.stdin)['id'])")
+echo "   job $JOB"
+# Wait until >=3 lengths are done: with -checkpoint-every 2 that guarantees
+# at least one durable checkpoint, so the restart exercises resume (not just
+# the from-scratch fallback).
+for _ in $(seq 1 3600); do
+  done_n=$(poll_field "$JOB" "s.get('done', 0)")
+  [ "$done_n" -ge 3 ] && break
+  sleep 1
+done
+echo "   $done_n lengths done — SIGKILL"
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+SRV_PID=""
+
+echo "== run 2: restart on the same data dir, job must resume and finish"
+start_server "$WORK/durable"
+resumed_state=$(poll_field "$JOB" "s['state']")
+echo "   job $JOB recovered in state '$resumed_state'"
+wait_done "$JOB" "$WORK/resumed.json"
+kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true; SRV_PID=""
+
+echo "== run 3: uninterrupted reference on a fresh data dir"
+start_server "$WORK/fresh"
+REF=$(curl -fsS -X POST "$BASE/v1/jobs" --data-binary @"$WORK/req.json" |
+  python3 -c "import json,sys; print(json.load(sys.stdin)['id'])")
+wait_done "$REF" "$WORK/reference.json"
+kill -9 "$SRV_PID"; wait "$SRV_PID" 2>/dev/null || true; SRV_PID=""
+
+echo "== compare"
+if cmp -s "$WORK/resumed.json" "$WORK/reference.json"; then
+  echo "OK: resumed result is byte-identical to the uninterrupted run ($(wc -c < "$WORK/resumed.json") bytes)"
+else
+  echo "FAIL: resumed result differs from the uninterrupted run" >&2
+  diff <(python3 -m json.tool "$WORK/resumed.json") \
+       <(python3 -m json.tool "$WORK/reference.json") | head -40 >&2 || true
+  exit 1
+fi

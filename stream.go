@@ -1,6 +1,7 @@
 package valmod
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/seriesmining/valmod/internal/core"
@@ -102,6 +103,40 @@ func (s *Stream) Snapshot() (*Result, error) {
 	}
 	values := append([]float64(nil), s.inner.Series()...)
 	return resultFromCore(res, values), nil
+}
+
+// Checkpoint serializes the stream's full state between Appends into a
+// versioned, checksummed blob. ResumeStream over the same length range and
+// options restores a stream whose every future Append and Snapshot is
+// bit-identical to this one's (Options.Workers may differ). Callers decide
+// the cadence — e.g. a serving layer checkpoints every N appends.
+func (s *Stream) Checkpoint() ([]byte, error) {
+	b, err := s.inner.Checkpoint()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return b, nil
+}
+
+// ResumeStream reconstructs a Stream from a Checkpoint blob taken under
+// the same lmin/lmax and options. Corrupted blobs, or blobs from a
+// different configuration, fail with an error wrapping ErrBadCheckpoint;
+// the fallback is replaying the original appends into a fresh stream,
+// which the chunking-invariance contract makes equally exact.
+func ResumeStream(lmin, lmax int, opts Options, ckpt []byte) (*Stream, error) {
+	s, err := NewStream(lmin, lmax, opts)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := core.ResumeStreamer(s.inner.Cfg(), ckpt)
+	if err != nil {
+		if errors.Is(err, core.ErrBadCheckpoint) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	s.inner = inner
+	return s, nil
 }
 
 // BestPair returns the current globally best motif pair under the

@@ -21,6 +21,14 @@ import (
 // can test with errors.Is and surface the message verbatim.
 var ErrBadInput = errors.New("valmod: bad input")
 
+// ErrBadCheckpoint is returned by DiscoverResume and ResumeStream when a
+// checkpoint blob is malformed, corrupted, of an unknown version, or does
+// not match the series and options it is being resumed against. The
+// recovery path is always available: run the discovery from scratch — the
+// engine's determinism contract makes the scratch run byte-identical to
+// what the resumed run would have produced.
+var ErrBadCheckpoint = core.ErrBadCheckpoint
+
 // Options tunes Discover. The zero value selects the published defaults.
 //
 // Validation contract: for every numeric field, zero selects the default;
@@ -119,6 +127,23 @@ type Options struct {
 	// cancellation is still honored between lengths, between seed blocks,
 	// and between recompute rounds.
 	Progress func(Progress)
+	// Checkpoint, when non-nil, receives a serialized engine checkpoint
+	// after completed lengths (cadence set by CheckpointEvery), on the
+	// goroutine running the discovery; the blob is valid only during the
+	// callback — durable consumers write it out before returning.
+	// DiscoverResume over the same series and options continues from the
+	// blob and returns results byte-identical to the uninterrupted run's,
+	// at any Workers setting. An error return disables further checkpoints
+	// for the run without failing it. Runs on the fast coarse-to-fine
+	// plans (LengthSkip / LengthStride > 1) never emit checkpoints: their
+	// resume fallback is a fresh run, which determinism makes equally
+	// exact.
+	Checkpoint func(ckpt []byte) error
+	// CheckpointEvery emits a checkpoint every k-th completed length
+	// (default 1 — every length boundary). Larger values amortize the
+	// serialization cost over more compute at the price of more repeated
+	// work after a crash. No effect unless Checkpoint is set.
+	CheckpointEvery int
 }
 
 // Progress reports one completed subsequence length of a running discovery.
@@ -322,6 +347,9 @@ func (o Options) validate() error {
 	if o.RefineRadius < 0 {
 		return fmt.Errorf("%w: Options.RefineRadius=%d: must be >= 0 (0 selects the full stride gap)", ErrBadInput, o.RefineRadius)
 	}
+	if o.CheckpointEvery < 0 {
+		return fmt.Errorf("%w: Options.CheckpointEvery=%d: must be >= 0 (0 selects every length)", ErrBadInput, o.CheckpointEvery)
+	}
 	return nil
 }
 
@@ -389,6 +417,43 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 	if err := Validate(values, lmin, lmax, opts); err != nil {
 		return nil, err
 	}
+	res, err := e.core.Run(ctx, values, coreConfig(opts, lmin, lmax))
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return resultFromCore(res, values), nil
+}
+
+// DiscoverResume continues a discovery from a checkpoint blob emitted by
+// Options.Checkpoint during an earlier run over the same values and
+// length range. The completed Result is byte-identical to the one the
+// uninterrupted run would have returned, at any Options.Workers setting.
+// A blob that is corrupted or belongs to a different series/configuration
+// fails with an error wrapping ErrBadCheckpoint — the caller then falls
+// back to a plain Discover, which determinism makes equally exact.
+func (e *Engine) DiscoverResume(ctx context.Context, values []float64, lmin, lmax int, ckpt []byte) (*Result, error) {
+	opts := e.opts
+	if err := Validate(values, lmin, lmax, opts); err != nil {
+		return nil, err
+	}
+	res, err := e.core.ResumeRun(ctx, values, coreConfig(opts, lmin, lmax), ckpt)
+	if err != nil {
+		if ctx.Err() != nil || errors.Is(err, ErrBadCheckpoint) {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
+	}
+	return resultFromCore(res, values), nil
+}
+
+// coreConfig maps public Options onto the engine configuration, shared by
+// DiscoverContext and DiscoverResume (a resumed run must execute under
+// exactly the configuration mapping of the original, or the checkpoint
+// digest check would reject it).
+func coreConfig(opts Options, lmin, lmax int) core.Config {
 	cfg := core.Config{
 		LMin:               lmin,
 		LMax:               lmax,
@@ -405,20 +470,15 @@ func (e *Engine) DiscoverContext(ctx context.Context, values []float64, lmin, lm
 		Strict:             opts.Strict,
 		Carry32:            opts.Carry32,
 		Workers:            opts.Workers,
+		OnCheckpoint:       opts.Checkpoint,
+		CheckpointEvery:    opts.CheckpointEvery,
 	}
 	if cb := opts.Progress; cb != nil {
 		cfg.OnLength = func(p core.Progress) {
 			cb(Progress{Done: p.Done, Total: p.Total, Result: lengthResultFromCore(p.Result)})
 		}
 	}
-	res, err := e.core.Run(ctx, values, cfg)
-	if err != nil {
-		if ctx.Err() != nil {
-			return nil, err
-		}
-		return nil, fmt.Errorf("%w: %v", ErrBadInput, err)
-	}
-	return resultFromCore(res, values), nil
+	return cfg
 }
 
 // resultFromCore converts a completed internal run into the public Result,
